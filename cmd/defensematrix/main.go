@@ -1,0 +1,37 @@
+// Command defensematrix evaluates the CR-Spectre attack chain against
+// the defense landscape the paper discusses (§I and §IV): DEP, stack
+// canaries, ASLR (with and without the published info-leak bypasses),
+// privileged CLFLUSH, InvisiSpec-style fill rollback, and full
+// speculation disable. One row per scenario, showing exactly where each
+// configuration stops — or fails to stop — the attack.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/defense"
+)
+
+func main() {
+	seed := flag.Int64("seed", 11, "layout/canary seed")
+	flag.Parse()
+
+	rows, err := defense.Matrix(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defensematrix:", err)
+		os.Exit(1)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tattack\tstage\tdetail")
+	for _, r := range rows {
+		result := "BLOCKED"
+		if r.Outcome.Success {
+			result = "SUCCEEDS"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.Name, result, r.Outcome.Stage, r.Outcome.Detail)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,154 @@
+// Command experiments regenerates the paper's evaluation artefacts:
+// Fig. 4 (HID accuracy vs feature size), Fig. 5 (offline-type HID vs
+// Spectre / CR-Spectre), Fig. 6 (online-type HID), and Table I (IPC
+// overhead). Results print as text tables and, with -csvdir, are also
+// written as CSV series ready for plotting.
+//
+// Usage:
+//
+//	experiments -all                       # everything, CI-scale
+//	experiments -fig 5 -samples 2000       # paper-scale Fig. 5
+//	experiments -table 1 -csvdir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 4, 5, 6")
+		table   = flag.String("table", "", "table to regenerate: 1")
+		latency = flag.Bool("latency", false, "run the detection-latency extension experiment")
+		recycle = flag.Bool("recycle", false, "run the variant-recycling extension experiment (windowed HID)")
+		alarms  = flag.Bool("alarms", false, "run the run-level alarm-policy extension experiment")
+		all     = flag.Bool("all", false, "regenerate every figure and table")
+		samples = flag.Int("samples", 400, "training samples per class (paper: 2000)")
+		att     = flag.Int("attempts", 10, "attack attempts per campaign")
+		seed    = flag.Int64("seed", 1, "pipeline seed")
+		csvdir  = flag.String("csvdir", "", "also write CSV files into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.SamplesPerClass = *samples
+	cfg.Attempts = *att
+	cfg.Seed = *seed
+
+	if !*all && *fig == "" && *table == "" && !*latency && !*recycle && !*alarms {
+		fmt.Fprintln(os.Stderr, "experiments: pick -fig 4|5|6, -table 1, -latency, -recycle, -alarms, or -all")
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	writeCSV := func(name string, emit func(f *os.File)) {
+		if *csvdir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*csvdir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		emit(f)
+		f.Close()
+		fmt.Printf("wrote %s\n", filepath.Join(*csvdir, name))
+	}
+
+	want := func(s, v string) bool { return *all || strings.TrimSpace(s) == v }
+
+	if want(*fig, "4") {
+		run("Fig 4: HID accuracy vs feature size", func() error {
+			rows, err := experiments.Fig4(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig4(os.Stdout, rows)
+			writeCSV("fig4.csv", func(f *os.File) { experiments.Fig4CSV(f, rows) })
+			return nil
+		})
+	}
+	if want(*fig, "5") {
+		run("Fig 5: offline-type HID campaign", func() error {
+			res, err := experiments.Fig5(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.RenderCampaign(os.Stdout, res, cfg.Classifiers)
+			writeCSV("fig5.csv", func(f *os.File) { experiments.CampaignCSV(f, res) })
+			return nil
+		})
+	}
+	if want(*fig, "6") {
+		run("Fig 6: online-type HID campaign", func() error {
+			res, err := experiments.Fig6(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.RenderCampaign(os.Stdout, res, cfg.Classifiers)
+			writeCSV("fig6.csv", func(f *os.File) { experiments.CampaignCSV(f, res) })
+			return nil
+		})
+	}
+	if *all || *latency {
+		run("Extension: online-HID detection latency", func() error {
+			rows, err := experiments.DetectionLatency(cfg, 6)
+			if err != nil {
+				return err
+			}
+			experiments.RenderLatency(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *recycle {
+		run("Extension: variant recycling vs windowed HID", func() error {
+			rows, err := experiments.VariantRecycling(cfg, 600)
+			if err != nil {
+				return err
+			}
+			experiments.RenderRecycling(os.Stdout, rows)
+			return nil
+		})
+	}
+	if *all || *alarms {
+		run("Extension: run-level alarm policies vs diluted CR-Spectre", func() error {
+			rows, err := experiments.RunLevelDetection(cfg, nil, 6)
+			if err != nil {
+				return err
+			}
+			experiments.RenderAlarms(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want(*table, "1") {
+		run("Table I: IPC overhead", func() error {
+			rows, err := experiments.Table1(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable1(os.Stdout, rows)
+			writeCSV("table1.csv", func(f *os.File) { experiments.Table1CSV(f, rows) })
+			return nil
+		})
+	}
+}

@@ -1,0 +1,173 @@
+// Command report runs the complete evaluation — every paper artefact and
+// every extension experiment — and writes a single self-contained
+// markdown report (artifact-evaluation style), with the configuration
+// and per-section timings recorded alongside each result.
+//
+// Usage:
+//
+//	report -o results/REPORT.md -samples 400 -attempts 10
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/experiments"
+	"repro/internal/hid"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "results/REPORT.md", "output markdown file")
+		samples = flag.Int("samples", 400, "training samples per class")
+		att     = flag.Int("attempts", 10, "attack attempts per campaign")
+		seed    = flag.Int64("seed", 1, "pipeline seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.SamplesPerClass = *samples
+	cfg.Attempts = *att
+	cfg.Seed = *seed
+
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# CR-Spectre reproduction report\n\n")
+	fmt.Fprintf(&b, "Generated %s · seed %d · %d samples/class · %d attempts\n\n",
+		time.Now().Format("2006-01-02 15:04"), cfg.Seed, cfg.SamplesPerClass, cfg.Attempts)
+	fmt.Fprintf(&b, "Every number below is deterministic under the seed; rerun\n")
+	fmt.Fprintf(&b, "`go run ./cmd/report -seed %d -samples %d -attempts %d` to reproduce it.\n\n",
+		cfg.Seed, cfg.SamplesPerClass, cfg.Attempts)
+
+	section := func(title string, f func() (string, error)) {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running: %s...\n", title)
+		body, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %s: %v\n", title, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n*(%.1fs)*\n\n", title, body, time.Since(start).Seconds())
+	}
+
+	section("Fig. 4 — HID accuracy vs feature size", func() (string, error) {
+		rows, err := experiments.Fig4(cfg)
+		if err != nil {
+			return "", err
+		}
+		var s bytes.Buffer
+		experiments.RenderFig4(&s, rows)
+		return s.String(), nil
+	})
+
+	section("Fig. 5 — offline-type HID: Spectre vs CR-Spectre", func() (string, error) {
+		res, err := experiments.Fig5(cfg)
+		if err != nil {
+			return "", err
+		}
+		var s bytes.Buffer
+		experiments.RenderCampaign(&s, res, cfg.Classifiers)
+		return s.String(), nil
+	})
+
+	section("Fig. 6 — online-type HID: Spectre vs CR-Spectre", func() (string, error) {
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			return "", err
+		}
+		var s bytes.Buffer
+		experiments.RenderCampaign(&s, res, cfg.Classifiers)
+		return s.String(), nil
+	})
+
+	section("Table I — IPC overhead", func() (string, error) {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return "", err
+		}
+		var s bytes.Buffer
+		experiments.RenderTable1(&s, rows)
+		return s.String(), nil
+	})
+
+	section("Defense matrix (§I / §IV)", func() (string, error) {
+		rows, err := defense.Matrix(cfg.Seed)
+		if err != nil {
+			return "", err
+		}
+		var s bytes.Buffer
+		for _, r := range rows {
+			result := "BLOCKED "
+			if r.Outcome.Success {
+				result = "SUCCEEDS"
+			}
+			fmt.Fprintf(&s, "%-34s %s  %s\n", r.Name, result, r.Outcome.Detail)
+		}
+		return s.String(), nil
+	})
+
+	section("Extension — online-HID detection latency", func() (string, error) {
+		rows, err := experiments.DetectionLatency(cfg, 6)
+		if err != nil {
+			return "", err
+		}
+		var s bytes.Buffer
+		experiments.RenderLatency(&s, rows)
+		return s.String(), nil
+	})
+
+	section("Extension — variant recycling vs windowed HID", func() (string, error) {
+		rows, err := experiments.VariantRecycling(cfg, 600)
+		if err != nil {
+			return "", err
+		}
+		var s bytes.Buffer
+		experiments.RenderRecycling(&s, rows)
+		return s.String(), nil
+	})
+
+	section("Extension — pointwise detectors vs committee on a diluted variant", func() (string, error) {
+		rows, err := experiments.EnsembleComparison(cfg)
+		if err != nil {
+			return "", err
+		}
+		var s bytes.Buffer
+		experiments.RenderEnsemble(&s, rows)
+		return s.String(), nil
+	})
+
+	section("Extension — run-level alarm policies", func() (string, error) {
+		rows, err := experiments.RunLevelDetection(cfg, nil, 6)
+		if err != nil {
+			return "", err
+		}
+		var s bytes.Buffer
+		experiments.RenderAlarms(&s, rows)
+		return s.String(), nil
+	})
+
+	fmt.Fprintf(&b, "## Thresholds\n\nEvasion ≤ %.0f%% accuracy; detection > %.0f%% (paper §II-E).\n",
+		100*hid.EvadeThreshold, 100*hid.DetectThreshold)
+
+	if err := os.MkdirAll(dirOf(*out), 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, b.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, b.Len())
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,131 @@
+// Command simdbg is the platform's GDB analogue: it loads a workload (or
+// the full CR-Spectre scenario), optionally sets a breakpoint at a
+// symbol, runs, and dumps symbolised state — registers, the
+// reconstructed call stack (where a ROP hijack shows up as dangling
+// frames), and the retirement trace tail.
+//
+// Usage:
+//
+//	simdbg -host math -break workload_main          # stop at the kernel
+//	simdbg -host math -attack -trace 40             # watch the hijack
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/debug"
+	"repro/internal/gadget"
+	"repro/internal/mibench"
+	"repro/internal/rop"
+	"repro/internal/spectre"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		hostName = flag.String("host", "math", "workload to load")
+		bp       = flag.String("break", "", "break at this symbol")
+		attack   = flag.Bool("attack", false, "run the CR-Spectre injection instead of a benign input")
+		traceN   = flag.Int("trace", 25, "trace entries to dump")
+		budget   = flag.Uint64("budget", 200_000_000, "instruction budget")
+		watchRet = flag.Bool("watchret", false, "watch the saved-return-address slot and report who wrote it")
+	)
+	flag.Parse()
+
+	host, err := mibench.ByName(*hostName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := rop.HostOptions{}
+	if *attack {
+		opts.Secret = "S3CRET"
+	}
+	hostMod, err := host.HostModule(opts)
+	if err != nil {
+		fatal(err)
+	}
+	m := vm.New(vm.DefaultConfig())
+	m.Register(host.Name, hostMod, 0x100000)
+	img, err := m.Load(host.Name)
+	if err != nil {
+		fatal(err)
+	}
+
+	arg := []byte("benign")
+	if *attack {
+		att := spectre.Config{
+			Variant:    spectre.V1BoundsCheck,
+			TargetAddr: img.MustSymbol("__secret"),
+			SecretLen:  6,
+			ResumePath: host.Name + "#workload_entry",
+		}
+		attMod, err := att.Module()
+		if err != nil {
+			fatal(err)
+		}
+		m.Register("crspectre", attMod, 0x600000)
+		plan, err := rop.PlanInjection(gadget.ScanAndCatalog(img, 3), "crspectre", nil)
+		if err != nil {
+			fatal(err)
+		}
+		arg = plan.Payload
+		fmt.Printf("loaded %s with a %d-word ROP payload\n", host.Name, plan.Chain.Len())
+	}
+
+	if _, err := m.SetArg(arg); err != nil {
+		fatal(err)
+	}
+	if err := m.Start(host.Name); err != nil {
+		fatal(err)
+	}
+
+	d := debug.Attach(m.CPU, 4096)
+	d.AddSymbols(img.Symbols)
+	if aimg, ok := m.Image("crspectre"); ok {
+		d.AddSymbols(aimg.Symbols)
+	}
+	if *watchRet {
+		// _start's CALL pushes the return address one word below the
+		// initial SP; the overflow smashes exactly that slot.
+		d.WatchWrites("saved-ret", m.StackTop()-8, 8)
+		fmt.Printf("watching the saved-return-address slot at %#x\n", m.StackTop()-8)
+	}
+	if *bp != "" {
+		if err := d.BreakSymbol(*bp); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("breakpoint at %s\n", *bp)
+	}
+
+	for {
+		err := d.Run(*budget)
+		var br *debug.ErrBreak
+		switch {
+		case err == nil:
+			fmt.Println("\nprogram halted")
+			fmt.Printf("output: %q\n", m.Output.String())
+			d.DumpState(os.Stdout, *traceN)
+			if *watchRet {
+				fmt.Println()
+				fmt.Print(d.ReportWatches())
+			}
+			return
+		case errors.As(err, &br):
+			fmt.Printf("\nbreakpoint hit at %s (cycle %d)\n", d.Symbolize(br.Ev.PC), br.Ev.Cycle)
+			d.DumpState(os.Stdout, *traceN)
+			fmt.Println("\ncontinuing...")
+		default:
+			fmt.Printf("\nstopped: %v\n", err)
+			d.DumpState(os.Stdout, *traceN)
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simdbg:", err)
+	os.Exit(1)
+}

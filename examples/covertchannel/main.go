@@ -1,0 +1,92 @@
+// Covertchannel demonstrates the flush+reload primitive in isolation on
+// the simulated machine: a sender caches exactly one of 16 probe lines,
+// and a receiver recovers the index purely from RDTSC-timed reloads.
+// This is the channel over which CR-Spectre exfiltrates each secret
+// byte.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func main() {
+	const message = 11 // the 4-bit value the sender transmits
+
+	src := fmt.Sprintf(`
+	.entry main
+	; --- sender: flush all 16 lines, then touch line %d ---
+main:
+	movi r1, 0
+flush:
+	mov r2, r1
+	shli r2, r2, 9
+	movi r3, probe
+	add r3, r3, r2
+	clflush [r3]
+	addi r1, r1, 1
+	cmpi r1, 16
+	jb flush
+	mfence
+	movi r3, probe+%d
+	loadb r4, [r3]          ; the transmission: one warm line
+
+	; --- receiver: time every line, emit latency per slot ---
+	movi r1, 0
+probe_loop:
+	mov r2, r1
+	shli r2, r2, 9
+	movi r3, probe
+	add r3, r3, r2
+	rdtsc r5
+	loadb r4, [r3]
+	lfence
+	rdtsc r6
+	sub r6, r6, r5
+	push r1
+	movi r0, 2              ; SysPutint: print the latency
+	mov r1, r6
+	syscall
+	pop r1
+	addi r1, r1, 1
+	cmpi r1, 16
+	jb probe_loop
+	movi r0, 0
+	movi r1, 0
+	syscall
+.data
+.align 64
+probe: .space 8192
+`, message, message*512)
+
+	m := vm.New(vm.DefaultConfig())
+	m.Register("channel", isa.MustAssemble(src), 0x100000)
+	if err := m.Exec("channel", nil, 1_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("flush+reload covert channel")
+	fmt.Println("===========================")
+	lines := strings.Fields(m.Output.String())
+	best, bestLat := -1, 1<<30
+	for i, l := range lines {
+		var lat int
+		fmt.Sscanf(l, "%d", &lat)
+		marker := ""
+		if lat < 100 {
+			marker = "  <-- warm (cache hit)"
+		}
+		fmt.Printf("slot %2d: %4d cycles%s\n", i, lat, marker)
+		if lat < bestLat {
+			best, bestLat = i, lat
+		}
+	}
+	fmt.Printf("\nsender transmitted %d, receiver decoded %d\n", message, best)
+	if best != message {
+		log.Fatal("channel corrupted!")
+	}
+}

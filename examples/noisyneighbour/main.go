@@ -1,0 +1,76 @@
+// Noisyneighbour runs the covert channel in a shared-cache world: the
+// attack co-executes with benign workloads (vm.CoExec time-multiplexes
+// two cores over one cache hierarchy), and under synthetic burst
+// interference. It shows the leak's robustness against realistic
+// neighbours and the multi-round voting receiver recovering what bursty
+// interference corrupts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/mibench"
+	"repro/internal/spectre"
+)
+
+const secret = "GUARDED8"
+
+func score(out string) int {
+	ok := 0
+	for i := 0; i < len(out) && i < len(secret); i++ {
+		if out[i] == secret[i] {
+			ok++
+		}
+	}
+	return ok
+}
+
+func main() {
+	base := experiments.DefaultConfig()
+	base.Secret = secret
+
+	fmt.Println("flush+reload under interference")
+	fmt.Println("===============================")
+
+	// 1. Clean machine, single-round receiver.
+	_, m, err := experiments.RunStandalone(base, experiments.AttackSpec{Variant: spectre.V1BoundsCheck}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s %d/%d bytes (%q)\n", "clean channel, single round:", score(m.Output.String()), len(secret), m.Output.String())
+
+	// 2. A real streaming neighbour on a shared cache hierarchy.
+	co, err := experiments.RunStandaloneCoTenant(base, experiments.AttackSpec{Variant: spectre.V1BoundsCheck},
+		mibench.Stream(1000), 64, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s %d/%d bytes (%q)\n", "streaming co-tenant, single round:", score(co.Output.String()), len(secret), co.Output.String())
+
+	// 3. Synthetic burst interference (a set swept every 60 cycles):
+	// single-round vs the voting receiver.
+	noisy := base
+	noisy.CPU = cpu.DefaultConfig()
+	noisy.CPU.NoisePeriod = 60
+	noisy.CPU.NoiseSeed = 77
+	_, single, err := experiments.RunStandalone(noisy, experiments.AttackSpec{Variant: spectre.V1BoundsCheck}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s %d/%d bytes (%q)\n", "burst interference, single round:", score(single.Output.String()), len(secret), single.Output.String())
+
+	_, voted, err := experiments.RunStandalone(noisy, experiments.AttackSpec{
+		Variant: spectre.V1BoundsCheck, Rounds: 7,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s %d/%d bytes (%q)\n", "burst interference, 7-round voting:", score(voted.Output.String()), len(secret), voted.Output.String())
+
+	fmt.Println("\na benign neighbour cannot displace an 8-way set inside the")
+	fmt.Println("spec-fill->probe window; only bursty sweeps corrupt the channel,")
+	fmt.Println("and the PoC's scoring receiver votes those errors away.")
+}

@@ -1,0 +1,82 @@
+// Ropinject narrates the code-reuse injection of the paper's §II-C step
+// by step: assembling a vulnerable host, scanning its image for gadgets
+// (the GDB methodology), composing the execve-style chain, and smashing
+// the stack — first with a benign input, then with the exploit payload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gadget"
+	"repro/internal/isa"
+	"repro/internal/mibench"
+	"repro/internal/rop"
+	"repro/internal/vm"
+)
+
+func main() {
+	// The host: a real workload (CRC32) behind the vulnerable
+	// length-prefixed copy of Algorithm 1.
+	host := mibench.CRC32(500)
+	hostMod, err := host.HostModule(rop.HostOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The "malicious binary" the chain will exec.
+	attack := isa.MustAssemble(`
+		movi r0, 1
+		movi r1, 'p'
+		syscall
+		movi r1, 'w'
+		syscall
+		movi r1, 'n'
+		syscall
+		movi r0, 0
+		movi r1, 0
+		syscall
+	`)
+
+	m := vm.New(vm.DefaultConfig())
+	m.Register("host", hostMod, 0x100000)
+	m.Register("attack", attack, 0x400000)
+	img, err := m.Load("host")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("step 1: benign run")
+	if err := m.Exec("host", []byte("innocuous input"), 50_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  host output: %q (crc32 checksum)\n\n", m.Output.String())
+
+	fmt.Println("step 2: gadget scan (the paper loads the binary in GDB)")
+	cat := gadget.ScanAndCatalog(img, 3)
+	fmt.Printf("  %d gadget(s) found; the chain needs three:\n", len(cat.All()))
+	pop0, _ := cat.PopReg(0)
+	pop1, _ := cat.PopReg(1)
+	sys, _ := cat.Syscall()
+	for _, g := range []gadget.Gadget{pop1, pop0, sys} {
+		fmt.Printf("    %s\n", g)
+	}
+
+	fmt.Println("\nstep 3: compose payload (Listing 1's layout)")
+	plan, err := rop.PlanInjection(cat, "attack", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  [name %q][%d x %q filler][chain: %d words]\n",
+		"attack", plan.Layout.FillerLen, byte(rop.Filler), plan.Chain.Len())
+
+	fmt.Println("\nstep 4: overflow the buffer")
+	m2 := vm.New(vm.DefaultConfig())
+	m2.Register("host", hostMod, 0x100000)
+	m2.Register("attack", attack, 0x400000)
+	if err := m2.Exec("host", plan.Payload, 50_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  output: %q\n", m2.Output.String())
+	fmt.Printf("  exec log: %v\n", m2.ExecLog)
+	fmt.Printf("  the host never ran its workload — its return address led into the chain\n")
+}

@@ -1,0 +1,330 @@
+// Package cpu implements the simulated speculative core. The model is
+// in-order issue with out-of-order completion (a register scoreboard):
+// loads are non-blocking and set a ready-at cycle on their destination;
+// consumers stall. CMP propagates operand readiness into the flags, so a
+// conditional branch whose comparison depends on an in-flight load is
+// *unresolved* — the core predicts it and, when the prediction is wrong,
+// executes the wrong path speculatively until the data returns. The
+// squash restores registers and memory but NOT cache fills, which is the
+// micro-architectural vulnerability the Spectre attack exploits.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Config sets the core's micro-architectural parameters.
+type Config struct {
+	// SpecWindow caps the number of instructions executed in one
+	// wrong-path speculation episode (a ROB-size proxy).
+	SpecWindow int
+	// MispredictPenalty is the cycle cost charged after a branch
+	// resolves against its prediction (pipeline refill). It also extends
+	// the speculation deadline: in-flight wrong-path work continues
+	// while the pipeline drains.
+	MispredictPenalty uint64
+	// SpeculationEnabled turns wrong-path execution on. Disabling it
+	// models a fully-fenced core (the blunt Spectre mitigation) and is
+	// the headline ablation: the attack's leak rate drops to zero.
+	SpeculationEnabled bool
+	// SquashCacheEffects models an InvisiSpec-style defense (paper
+	// ref [18]): cache lines filled by squashed wrong-path loads are
+	// invalidated at squash, hiding speculation from the cache.
+	SquashCacheEffects bool
+	// FenceConditional models Context-Sensitive Fencing (paper ref
+	// [19]): microcode injects a fence after every conditional branch,
+	// so unresolved conditional branches stall instead of running the
+	// wrong path. Return- and indirect-branch speculation (the RSB and
+	// BTB variants) is deliberately unaffected — reproducing the known
+	// incompleteness of PHT-only Spectre mitigations.
+	FenceConditional bool
+	// FlushCost and FenceCost are the cycle costs of CLFLUSH and
+	// MFENCE/LFENCE beyond their serialising effect.
+	FlushCost uint64
+	FenceCost uint64
+	// PrivilegedFlush models the paper's countermeasure §IV: when set,
+	// CLFLUSH and MFENCE fault in user code, disabling the dynamic
+	// perturbation mechanism (and flush+reload).
+	PrivilegedFlush bool
+	// NoisePeriod injects co-tenant cache interference: every this many
+	// cycles one pseudo-random set is swept in each cache level (0 = no
+	// interference). It makes the covert channel lossy, which is what
+	// the attack's multi-round voting receiver exists to overcome.
+	NoisePeriod uint64
+	// NoiseSeed seeds the interference pattern (deterministic).
+	NoiseSeed int64
+	// Predictor selects the conditional-branch predictor: "" or "pht"
+	// for the 2-bit pattern history table, "gshare" for the
+	// global-history variant.
+	Predictor string
+	// NextLinePrefetch enables the hierarchy's sequential prefetcher.
+	NextLinePrefetch bool
+}
+
+// DefaultConfig returns the baseline core configuration used by the
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		SpecWindow:         64,
+		MispredictPenalty:  24,
+		SpeculationEnabled: true,
+		FlushCost:          12,
+		FenceCost:          4,
+	}
+}
+
+// SyscallFn handles a SYSCALL instruction. The syscall number is in R0
+// and arguments in R1..R3 by convention; results go in R0.
+type SyscallFn func(c *CPU) error
+
+// Fault wraps an execution fault with the PC at which it occurred.
+type Fault struct {
+	PC  uint64
+	Err error
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("cpu: fault at pc=%#x: %v", f.PC, f.Err) }
+
+// Unwrap exposes the underlying cause (e.g. *mem.Fault).
+func (f *Fault) Unwrap() error { return f.Err }
+
+// CPU is the architectural plus micro-architectural state of one core.
+type CPU struct {
+	Regs  [isa.NumRegs]uint64
+	PC    uint64
+	Cycle uint64
+
+	Mem    *mem.Memory
+	Caches *cache.Hierarchy
+	BP     *branch.Unit
+
+	// OnSyscall handles SYSCALL; nil means SYSCALL faults.
+	OnSyscall SyscallFn
+	// OnRetire, when set, observes every retired instruction (tracers,
+	// debuggers). It runs after architectural state is updated.
+	OnRetire func(pc uint64, in isa.Instruction)
+
+	cfg    Config
+	halted bool
+
+	flagZ  bool // last CMP: equal
+	flagLT bool // last CMP: less-than, signed
+	flagB  bool // last CMP: below, unsigned
+
+	regReady   [isa.NumRegs]uint64 // cycle at which each register's value is available
+	flagsReady uint64              // cycle at which the flags are available
+
+	noiseNext uint64 // next cycle at which interference evicts a line
+	noiseLCG  uint64 // interference PRNG state
+
+	instret     uint64
+	loads       uint64
+	stores      uint64
+	specInstr   uint64
+	specLoads   uint64
+	squashes    uint64
+	flushes     uint64
+	fences      uint64
+	syscalls    uint64
+	stallCycles uint64
+}
+
+// New builds a core over the given memory with a default cache hierarchy
+// and branch unit.
+func New(m *mem.Memory, cfg Config) *CPU {
+	bp := branch.NewUnit()
+	if cfg.Predictor == "gshare" {
+		bp = branch.NewGshareUnit()
+	}
+	caches := cache.DefaultHierarchy()
+	caches.NextLinePrefetch = cfg.NextLinePrefetch
+	c := &CPU{
+		Mem:    m,
+		Caches: caches,
+		BP:     bp,
+		cfg:    cfg,
+	}
+	if cfg.NoisePeriod > 0 {
+		c.noiseNext = cfg.NoisePeriod
+		c.noiseLCG = uint64(cfg.NoiseSeed)*6364136223846793005 + 1442695040888963407
+	}
+	return c
+}
+
+// interfere models bursty co-tenant cache pressure: whenever the noise
+// period elapses, one pseudo-randomly chosen set in each level is swept
+// (a streaming neighbour blasting through its ways), deterministic under
+// the seed.
+func (c *CPU) interfere() {
+	for c.noiseNext != 0 && c.Cycle >= c.noiseNext {
+		c.noiseNext += c.cfg.NoisePeriod
+		for _, lvl := range []*cache.Cache{c.Caches.L1, c.Caches.L2} {
+			c.noiseLCG = c.noiseLCG*6364136223846793005 + 1442695040888963407
+			sets, ways := lvl.Geometry()
+			set := (c.noiseLCG >> 16) % sets
+			for w := 0; w < ways; w++ {
+				lvl.EvictAt(set, w)
+			}
+		}
+	}
+}
+
+// Config returns the core's configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Halted reports whether HALT (or a SysExit handler) stopped the core.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Halt stops the core; used by syscall handlers implementing exit.
+func (c *CPU) Halt() { c.halted = true }
+
+// Resume clears the halted flag (used when chaining program executions).
+func (c *CPU) Resume() { c.halted = false }
+
+// Instret returns the number of retired (architectural) instructions.
+func (c *CPU) Instret() uint64 { return c.instret }
+
+// IPC returns retired instructions per cycle so far.
+func (c *CPU) IPC() float64 {
+	if c.Cycle == 0 {
+		return 0
+	}
+	return float64(c.instret) / float64(c.Cycle)
+}
+
+// Snapshot is a point-in-time copy of every event counter the PMU can
+// observe. Events are monotonic; the PMU samples by differencing.
+type Snapshot struct {
+	Cycles       uint64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	L1Accesses uint64
+	L1Misses   uint64
+	L1Evicts   uint64
+	L1Flushes  uint64
+	L2Accesses uint64
+	L2Misses   uint64
+	L2Evicts   uint64
+	L2Flushes  uint64
+
+	CondBranches  uint64
+	CondMispred   uint64
+	Returns       uint64
+	ReturnMispred uint64
+	Indirect      uint64
+	IndirectMiss  uint64
+	Direct        uint64
+
+	SpecInstructions uint64
+	SpecLoads        uint64
+	Squashes         uint64
+
+	Flushes     uint64 // CLFLUSH instructions retired
+	Fences      uint64 // MFENCE/LFENCE instructions retired
+	Syscalls    uint64
+	StallCycles uint64
+}
+
+// Snapshot captures the current counter values.
+func (c *CPU) Snapshot() Snapshot {
+	l1 := c.Caches.L1.Stats()
+	l2 := c.Caches.L2.Stats()
+	bs := c.BP.Stats
+	return Snapshot{
+		Cycles:           c.Cycle,
+		Instructions:     c.instret,
+		Loads:            c.loads,
+		Stores:           c.stores,
+		L1Accesses:       l1.Accesses,
+		L1Misses:         l1.Misses,
+		L1Evicts:         l1.Evicts,
+		L1Flushes:        l1.Flushes,
+		L2Accesses:       l2.Accesses,
+		L2Misses:         l2.Misses,
+		L2Evicts:         l2.Evicts,
+		L2Flushes:        l2.Flushes,
+		CondBranches:     bs.CondBranches,
+		CondMispred:      bs.CondMispred,
+		Returns:          bs.Returns,
+		ReturnMispred:    bs.ReturnMispred,
+		Indirect:         bs.Indirect,
+		IndirectMiss:     bs.IndirectMiss,
+		Direct:           bs.Direct,
+		SpecInstructions: c.specInstr,
+		SpecLoads:        c.specLoads,
+		Squashes:         c.squashes,
+		Flushes:          c.flushes,
+		Fences:           c.fences,
+		Syscalls:         c.syscalls,
+		StallCycles:      c.stallCycles,
+	}
+}
+
+// Sub returns the per-event difference s - prev (event deltas over a
+// sampling interval).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		Cycles:           s.Cycles - prev.Cycles,
+		Instructions:     s.Instructions - prev.Instructions,
+		Loads:            s.Loads - prev.Loads,
+		Stores:           s.Stores - prev.Stores,
+		L1Accesses:       s.L1Accesses - prev.L1Accesses,
+		L1Misses:         s.L1Misses - prev.L1Misses,
+		L1Evicts:         s.L1Evicts - prev.L1Evicts,
+		L1Flushes:        s.L1Flushes - prev.L1Flushes,
+		L2Accesses:       s.L2Accesses - prev.L2Accesses,
+		L2Misses:         s.L2Misses - prev.L2Misses,
+		L2Evicts:         s.L2Evicts - prev.L2Evicts,
+		L2Flushes:        s.L2Flushes - prev.L2Flushes,
+		CondBranches:     s.CondBranches - prev.CondBranches,
+		CondMispred:      s.CondMispred - prev.CondMispred,
+		Returns:          s.Returns - prev.Returns,
+		ReturnMispred:    s.ReturnMispred - prev.ReturnMispred,
+		Indirect:         s.Indirect - prev.Indirect,
+		IndirectMiss:     s.IndirectMiss - prev.IndirectMiss,
+		Direct:           s.Direct - prev.Direct,
+		SpecInstructions: s.SpecInstructions - prev.SpecInstructions,
+		SpecLoads:        s.SpecLoads - prev.SpecLoads,
+		Squashes:         s.Squashes - prev.Squashes,
+		Flushes:          s.Flushes - prev.Flushes,
+		Fences:           s.Fences - prev.Fences,
+		Syscalls:         s.Syscalls - prev.Syscalls,
+		StallCycles:      s.StallCycles - prev.StallCycles,
+	}
+}
+
+// waitReg stalls the pipeline until the register's value is available.
+func (c *CPU) waitReg(r uint8) {
+	if c.regReady[r] > c.Cycle {
+		c.stallCycles += c.regReady[r] - c.Cycle
+		c.Cycle = c.regReady[r]
+	}
+}
+
+// drain waits for every in-flight result (serialising instructions).
+func (c *CPU) drain() {
+	maxReady := c.flagsReady
+	for _, r := range c.regReady {
+		if r > maxReady {
+			maxReady = r
+		}
+	}
+	if maxReady > c.Cycle {
+		c.stallCycles += maxReady - c.Cycle
+		c.Cycle = maxReady
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

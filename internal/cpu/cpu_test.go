@@ -1,0 +1,673 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// run assembles src, maps it at 0x10000 (code RX, data RW), gives it a
+// stack, and returns a ready CPU plus the linked image.
+func load(t *testing.T, src string, cfg Config) (*CPU, *isa.Image) {
+	t.Helper()
+	mod, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := mod.Link(0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(4 << 20)
+	if err := m.LoadRaw(img.Base, img.Code); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(img.Base, uint64(len(img.Code)), mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadRaw(img.DataBase, img.Data); err != nil {
+		t.Fatal(err)
+	}
+	dl := uint64(len(img.Data))
+	if dl == 0 {
+		dl = 1
+	}
+	if err := m.Protect(img.DataBase, dl, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// Stack: last 64 KiB below a guard page.
+	top := m.Size() - mem.PageSize
+	if err := m.Protect(top-(64<<10), 64<<10, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, cfg)
+	c.PC = img.Entry
+	c.Regs[isa.RegSP] = top
+	return c, img
+}
+
+func mustRun(t *testing.T, c *CPU, budget uint64) {
+	t.Helper()
+	if err := c.Run(budget); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.Halted() {
+		t.Fatal("program did not halt")
+	}
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	c, _ := load(t, `
+		movi r1, 10
+		movi r2, 0
+	loop:
+		add r2, r2, r1
+		subi r1, r1, 1
+		cmpi r1, 0
+		jne loop
+		halt
+	`, DefaultConfig())
+	mustRun(t, c, 100000)
+	if c.Regs[2] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[2])
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	c, _ := load(t, `
+	.entry main
+	double:
+		add r1, r1, r1
+		ret
+	main:
+		movi r1, 21
+		call double
+		halt
+	`, DefaultConfig())
+	mustRun(t, c, 1000)
+	if c.Regs[1] != 42 {
+		t.Errorf("r1 = %d, want 42", c.Regs[1])
+	}
+	if c.BP.Stats.Returns != 1 || c.BP.Stats.ReturnMispred != 0 {
+		t.Errorf("matched call/ret mispredicted: %+v", c.BP.Stats)
+	}
+}
+
+func TestLoadStoreMemory(t *testing.T) {
+	c, img := load(t, `
+		movi r1, arr
+		movi r2, 1234
+		store [r1+16], r2
+		load r3, [r1+16]
+		loadb r4, [r1+16]
+		halt
+	.data
+	arr: .space 64
+	`, DefaultConfig())
+	mustRun(t, c, 1000)
+	if c.Regs[3] != 1234 {
+		t.Errorf("load = %d", c.Regs[3])
+	}
+	if c.Regs[4] != 1234&0xff {
+		t.Errorf("loadb = %d", c.Regs[4])
+	}
+	v, err := c.Mem.Read64(img.MustSymbol("arr") + 16)
+	if err != nil || v != 1234 {
+		t.Errorf("memory value = %d, %v", v, err)
+	}
+}
+
+func TestSignedAndUnsignedBranches(t *testing.T) {
+	c, _ := load(t, `
+		movi r1, -1
+		movi r2, 1
+		cmp r1, r2
+		jl signed_less
+		movi r10, 0
+		jmp next
+	signed_less:
+		movi r10, 1
+	next:
+		cmp r1, r2     ; unsigned: 0xffff... > 1
+		ja unsigned_above
+		movi r11, 0
+		jmp done
+	unsigned_above:
+		movi r11, 1
+	done:
+		halt
+	`, DefaultConfig())
+	mustRun(t, c, 1000)
+	if c.Regs[10] != 1 {
+		t.Error("JL failed on signed -1 < 1")
+	}
+	if c.Regs[11] != 1 {
+		t.Error("JA failed on unsigned max > 1")
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	c, _ := load(t, `
+		movi r1, 4
+		movi r2, 0
+		div r3, r1, r2
+		halt
+	`, DefaultConfig())
+	err := c.Run(100)
+	if err == nil {
+		t.Fatal("division by zero did not fault")
+	}
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error %T is not *Fault", err)
+	}
+}
+
+func TestDEPBlocksStackExecution(t *testing.T) {
+	// Jump into the (writable, non-executable) data section: must fault
+	// with an exec-protect error.
+	c, _ := load(t, `
+		movi r1, payload
+		jmpr r1
+		halt
+	.data
+	payload: .space 32
+	`, DefaultConfig())
+	err := c.Run(100)
+	var mf *mem.Fault
+	if !errors.As(err, &mf) || mf.Kind != mem.FaultExec {
+		t.Fatalf("expected DEP exec fault, got %v", err)
+	}
+}
+
+func TestLoadLatencyStallsConsumer(t *testing.T) {
+	// A dependent ALU op must wait for a cold load; an independent op
+	// must not.
+	cfg := DefaultConfig()
+	cDep, _ := load(t, `
+		movi r1, arr
+		load r2, [r1]
+		addi r3, r2, 1   ; depends on the load
+		halt
+	.data
+	arr: .word 5
+	`, cfg)
+	mustRun(t, cDep, 100)
+
+	cInd, _ := load(t, `
+		movi r1, arr
+		load r2, [r1]
+		addi r3, r1, 1   ; independent of the load
+		halt
+	.data
+	arr: .word 5
+	`, cfg)
+	mustRun(t, cInd, 100)
+
+	if cDep.Cycle <= cInd.Cycle {
+		t.Errorf("dependent chain (%d cycles) not slower than independent (%d)", cDep.Cycle, cInd.Cycle)
+	}
+	if cDep.Snapshot().StallCycles == 0 {
+		t.Error("dependent load consumer recorded no stalls")
+	}
+}
+
+func TestRDTSCTimesCacheMiss(t *testing.T) {
+	// The flush+reload receiver's core loop: rdtsc / load / lfence /
+	// rdtsc must show a large delta for cold lines and a small one warm.
+	src := `
+		movi r1, arr
+		rdtsc r10
+		loadb r2, [r1]
+		lfence
+		rdtsc r11
+		sub r12, r11, r10   ; cold duration
+		rdtsc r10
+		loadb r2, [r1]
+		lfence
+		rdtsc r11
+		sub r13, r11, r10   ; warm duration
+		halt
+	.data
+	.align 64
+	arr: .space 64
+	`
+	c, _ := load(t, src, DefaultConfig())
+	mustRun(t, c, 1000)
+	cold, warm := c.Regs[12], c.Regs[13]
+	if cold < warm+100 {
+		t.Errorf("timing margin too small: cold=%d warm=%d", cold, warm)
+	}
+}
+
+func TestClflushMakesReloadSlow(t *testing.T) {
+	c, _ := load(t, `
+		movi r1, arr
+		loadb r2, [r1]      ; warm the line
+		loadb r2, [r1]
+		clflush [r1]
+		rdtsc r10
+		loadb r2, [r1]
+		lfence
+		rdtsc r11
+		sub r12, r11, r10
+		halt
+	.data
+	.align 64
+	arr: .space 64
+	`, DefaultConfig())
+	mustRun(t, c, 1000)
+	if c.Regs[12] < 100 {
+		t.Errorf("reload after clflush took only %d cycles", c.Regs[12])
+	}
+}
+
+func TestMispredictPenaltyCharged(t *testing.T) {
+	// A branch with a stable direction becomes cheap; flipping its
+	// direction once charges the penalty.
+	cfg := DefaultConfig()
+	c, _ := load(t, `
+		movi r1, 0
+		movi r2, 100
+	loop:
+		addi r1, r1, 1
+		cmp r1, r2
+		jb loop
+		halt
+	`, cfg)
+	mustRun(t, c, 100000)
+	s := c.BP.Stats
+	if s.CondBranches != 100 {
+		t.Fatalf("cond branches = %d", s.CondBranches)
+	}
+	// Warmup mispredicts (~2) plus the final not-taken flip.
+	if s.CondMispred == 0 || s.CondMispred > 5 {
+		t.Errorf("mispredicts = %d, want a small nonzero count", s.CondMispred)
+	}
+}
+
+// TestSpeculativeLeak is the reproduction's keystone: a bounds check
+// whose comparison operand was flushed resolves late; a mistrained
+// predictor sends execution down the in-bounds path with an
+// out-of-bounds index; the dependent probe-array load fills a cache line
+// that SURVIVES the squash and is observable by timing. Without this
+// property CR-Spectre cannot exist.
+func TestSpeculativeLeak(t *testing.T) {
+	src := `
+	.entry main
+	; victim(r1 = x): if x < size { y = arr1[x]; probe[y*512]; }
+	victim:
+		movi r3, size_var
+		load r4, [r3]        ; size (flushable -> late-resolving compare)
+		cmp r1, r4
+		jae out
+		movi r5, arr1
+		add r5, r5, r1
+		loadb r6, [r5]       ; y = arr1[x]  (out of bounds when speculated)
+		shli r6, r6, 9       ; y * 512
+		movi r7, probe
+		add r7, r7, r6
+		loadb r8, [r7]       ; fills probe[y*512] line
+	out:
+		ret
+	main:
+		; train: x=0 several times
+		movi r9, 6
+	train:
+		movi r1, 0
+		call victim
+		subi r9, r9, 1
+		cmpi r9, 0
+		jne train
+		; flush size, then call with malicious x = (secret - arr1)
+		movi r3, size_var
+		clflush [r3]
+		mfence
+		movi r1, secret
+		movi r2, arr1
+		sub r1, r1, r2
+		call victim
+		halt
+	.data
+	.align 64
+	size_var: .word 4
+	.align 64
+	arr1: .byte 1, 2, 3, 4
+	.align 64
+	secret: .byte 0x2A          ; the byte to leak (42)
+	.align 64
+	probe: .space 131072        ; 256 * 512
+	`
+	c, img := load(t, src, DefaultConfig())
+	mustRun(t, c, 100000)
+
+	probe := img.MustSymbol("probe")
+	// The line for secret value 42 must be cached; neighbours must not.
+	if !c.Caches.Cached(probe + 42*512) {
+		t.Fatal("probe line for the secret byte was not filled speculatively")
+	}
+	for _, v := range []uint64{41, 43, 7, 200} {
+		if c.Caches.Cached(probe + v*512) {
+			t.Errorf("probe line %d cached; leak is not selective", v)
+		}
+	}
+	if c.Snapshot().Squashes == 0 {
+		t.Error("no speculation episode was squashed")
+	}
+	// Architectural state never saw the out-of-bounds read: r8 keeps its
+	// last in-bounds value (probe bytes are zero).
+	if c.Regs[8] != 0 {
+		t.Errorf("architectural r8 = %d; speculative value leaked architecturally", c.Regs[8])
+	}
+}
+
+// TestSpeculationDisabledBlocksLeak runs the same victim with
+// speculation off: the probe line must stay cold (the blunt mitigation
+// works).
+func TestSpeculationDisabledBlocksLeak(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpeculationEnabled = false
+	c, img := loadLeakVictim(t, cfg, "")
+	mustRun(t, c, 100000)
+	if c.Caches.Cached(img.MustSymbol("probe") + 42*512) {
+		t.Error("leak succeeded with speculation disabled")
+	}
+}
+
+// TestLfenceBlocksLeak inserts the context-sensitive-fencing defense
+// (paper ref [19]): an LFENCE after the bounds check stops the episode
+// before the secret-dependent load.
+func TestLfenceBlocksLeak(t *testing.T) {
+	c, img := loadLeakVictim(t, DefaultConfig(), "lfence")
+	mustRun(t, c, 100000)
+	if c.Caches.Cached(img.MustSymbol("probe") + 42*512) {
+		t.Error("leak succeeded through an lfence")
+	}
+}
+
+// TestSquashCacheEffectsBlocksObservation models InvisiSpec (paper ref
+// [18]): wrong-path fills are rolled back at squash.
+func TestSquashCacheEffectsBlocksObservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SquashCacheEffects = true
+	c, img := loadLeakVictim(t, cfg, "")
+	mustRun(t, c, 100000)
+	if c.Caches.Cached(img.MustSymbol("probe") + 42*512) {
+		t.Error("leak observable despite InvisiSpec-style rollback")
+	}
+}
+
+// loadLeakVictim builds the Spectre-v1 victim with an optional extra
+// instruction after the bounds check (defense injection point).
+func loadLeakVictim(t *testing.T, cfg Config, afterCheck string) (*CPU, *isa.Image) {
+	t.Helper()
+	src := `
+	.entry main
+	victim:
+		movi r3, size_var
+		load r4, [r3]
+		cmp r1, r4
+		jae out
+		` + afterCheck + `
+		movi r5, arr1
+		add r5, r5, r1
+		loadb r6, [r5]
+		shli r6, r6, 9
+		movi r7, probe
+		add r7, r7, r6
+		loadb r8, [r7]
+	out:
+		ret
+	main:
+		movi r9, 6
+	train:
+		movi r1, 0
+		call victim
+		subi r9, r9, 1
+		cmpi r9, 0
+		jne train
+		movi r3, size_var
+		clflush [r3]
+		mfence
+		movi r1, secret
+		movi r2, arr1
+		sub r1, r1, r2
+		call victim
+		halt
+	.data
+	.align 64
+	size_var: .word 4
+	.align 64
+	arr1: .byte 1, 2, 3, 4
+	.align 64
+	secret: .byte 0x2A
+	.align 64
+	probe: .space 131072
+	`
+	return load(t, src, cfg)
+}
+
+func TestRSBMispredictionOnROPStyleReturn(t *testing.T) {
+	// Overwrite the return address on the stack: the RSB predicts the
+	// original call site, so the RET mispredicts — the micro-
+	// architectural signature of a ROP pivot.
+	c, _ := load(t, `
+	.entry main
+	gadget:
+		movi r10, 99
+		halt
+	f:
+		movi r1, gadget
+		store [sp], r1       ; smash own return address
+		ret
+	main:
+		call f
+		halt
+	`, DefaultConfig())
+	mustRun(t, c, 1000)
+	if c.Regs[10] != 99 {
+		t.Fatal("control flow was not hijacked")
+	}
+	if c.BP.Stats.ReturnMispred == 0 {
+		t.Error("ROP-style return did not mispredict the RSB")
+	}
+}
+
+func TestSyscallDispatch(t *testing.T) {
+	c, _ := load(t, `
+		movi r0, 7
+		movi r1, 11
+		syscall
+		halt
+	`, DefaultConfig())
+	var gotNum, gotArg uint64
+	c.OnSyscall = func(c *CPU) error {
+		gotNum, gotArg = c.Regs[0], c.Regs[1]
+		return nil
+	}
+	mustRun(t, c, 100)
+	if gotNum != 7 || gotArg != 11 {
+		t.Errorf("syscall saw %d,%d", gotNum, gotArg)
+	}
+	if c.Snapshot().Syscalls != 1 {
+		t.Error("syscall counter wrong")
+	}
+}
+
+func TestSyscallWithoutHandlerFaults(t *testing.T) {
+	c, _ := load(t, "syscall\nhalt", DefaultConfig())
+	if err := c.Run(10); err == nil {
+		t.Error("SYSCALL without handler did not fault")
+	}
+}
+
+func TestPrivilegedFlushCountermeasure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrivilegedFlush = true
+	c, _ := load(t, `
+		movi r1, x
+		clflush [r1]
+		halt
+	.data
+	x: .word 0
+	`, cfg)
+	if err := c.Run(100); err == nil {
+		t.Error("clflush executed despite PrivilegedFlush")
+	}
+}
+
+func TestHaltedStep(t *testing.T) {
+	c, _ := load(t, "halt", DefaultConfig())
+	mustRun(t, c, 10)
+	if err := c.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("step after halt: %v", err)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	c, _ := load(t, "loop: jmp loop", DefaultConfig())
+	if err := c.Run(100); !errors.Is(err, ErrBudget) {
+		t.Errorf("infinite loop: %v", err)
+	}
+}
+
+func TestIPCAndInstret(t *testing.T) {
+	c, _ := load(t, "nop\nnop\nnop\nhalt", DefaultConfig())
+	mustRun(t, c, 100)
+	if c.Instret() != 4 {
+		t.Errorf("instret = %d", c.Instret())
+	}
+	if ipc := c.IPC(); ipc <= 0 || ipc > 1.5 {
+		t.Errorf("IPC = %f out of plausible range", ipc)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	c, _ := load(t, `
+		movi r1, arr
+		load r2, [r1]
+		load r2, [r1]
+		halt
+	.data
+	arr: .word 1
+	`, DefaultConfig())
+	before := c.Snapshot()
+	mustRun(t, c, 100)
+	d := c.Snapshot().Sub(before)
+	if d.Instructions != 4 {
+		t.Errorf("delta instructions = %d", d.Instructions)
+	}
+	if d.Loads != 2 || d.L1Accesses != 2 || d.L1Misses != 1 {
+		t.Errorf("delta loads=%d l1acc=%d l1miss=%d", d.Loads, d.L1Accesses, d.L1Misses)
+	}
+}
+
+func TestIndirectBranchBTBTraining(t *testing.T) {
+	c, _ := load(t, `
+	.entry main
+	target:
+		addi r10, r10, 1
+		ret
+	main:
+		movi r1, target
+		movi r2, 3
+	loop:
+		callr r1
+		subi r2, r2, 1
+		cmpi r2, 0
+		jne loop
+		halt
+	`, DefaultConfig())
+	mustRun(t, c, 1000)
+	s := c.BP.Stats
+	if s.Indirect != 3 {
+		t.Fatalf("indirect count = %d", s.Indirect)
+	}
+	if s.IndirectMiss != 1 {
+		t.Errorf("indirect misses = %d, want 1 (cold only)", s.IndirectMiss)
+	}
+	if c.Regs[10] != 3 {
+		t.Errorf("callr executed %d times", c.Regs[10])
+	}
+}
+
+func TestRSBUnderflowNoSpeculation(t *testing.T) {
+	// Returns deeper than the 16-entry RSB overflow it: the oldest
+	// entries are gone when the outer frames unwind, so those returns
+	// mispredict — but must not crash or speculate to garbage.
+	// Build 20-deep nesting: f0 calls f1 ... f19, then returns unwind.
+	src := ".entry main\nmain:\n\tcall f0\n\thalt\n"
+	for i := 0; i < 20; i++ {
+		src += fmt.Sprintf("f%d:\n", i)
+		if i < 19 {
+			src += fmt.Sprintf("\tcall f%d\n", i+1)
+		}
+		src += "\tret\n"
+	}
+	c, _ := load(t, src, DefaultConfig())
+	mustRun(t, c, 10_000)
+	s := c.BP.Stats
+	if s.Returns != 20 {
+		t.Fatalf("returns = %d", s.Returns)
+	}
+	// The four deepest frames overflowed the 16-entry RSB: their
+	// returns mispredict.
+	if s.ReturnMispred < 4 {
+		t.Errorf("RSB overflow produced only %d mispredictions", s.ReturnMispred)
+	}
+}
+
+func TestResolvedMispredictChargesPenaltyOnly(t *testing.T) {
+	// A branch whose flags are long since ready still mispredicts on a
+	// direction flip, but runs no episode (nothing unresolved).
+	c, _ := load(t, `
+		movi r1, 0
+		movi r2, 64
+	loop:
+		addi r1, r1, 1
+		nop
+		nop
+		cmp r1, r2
+		jb loop
+		halt
+	`, DefaultConfig())
+	mustRun(t, c, 10_000)
+	if c.Snapshot().Squashes != 0 {
+		t.Errorf("register-only compares ran %d episodes", c.Snapshot().Squashes)
+	}
+	if c.BP.Stats.CondMispred == 0 {
+		t.Error("direction flip never mispredicted")
+	}
+}
+
+func TestIndirectResolvedMiss(t *testing.T) {
+	// An indirect jump through a register that is ready (no in-flight
+	// load) with a cold/wrong BTB: miss counted, no episode.
+	c, _ := load(t, `
+	.entry main
+	a:	addi r10, r10, 1
+		ret
+	b:	addi r11, r11, 1
+		ret
+	main:
+		movi r1, a
+		callr r1
+		movi r1, b
+		callr r1        ; same site? no - distinct sites, both cold
+		halt
+	`, DefaultConfig())
+	mustRun(t, c, 1_000)
+	s := c.Snapshot()
+	if s.IndirectMiss != 2 {
+		t.Errorf("cold indirect misses = %d, want 2", s.IndirectMiss)
+	}
+	if s.Squashes != 0 {
+		t.Errorf("resolved indirect ran %d episodes", s.Squashes)
+	}
+	if c.Regs[10] != 1 || c.Regs[11] != 1 {
+		t.Error("indirect calls did not execute")
+	}
+}

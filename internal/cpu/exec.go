@@ -1,0 +1,515 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// ErrHalted is returned by Step when the core has already halted.
+var ErrHalted = errors.New("cpu: halted")
+
+// ErrBudget is returned by Run when the instruction budget is exhausted
+// before the program halts.
+var ErrBudget = errors.New("cpu: instruction budget exhausted")
+
+// errPrivileged reports user-mode use of an instruction the platform has
+// restricted (the paper's §IV countermeasure).
+var errPrivileged = errors.New("cpu: privileged instruction in user mode")
+
+// Step retires exactly one architectural instruction (which may trigger a
+// wrong-path speculation episode internally).
+func (c *CPU) Step() error {
+	if c.halted {
+		return ErrHalted
+	}
+	raw, err := c.Mem.Fetch(c.PC, isa.InstrSize)
+	if err != nil {
+		return &Fault{PC: c.PC, Err: err}
+	}
+	in, err := isa.Decode(raw)
+	if err != nil {
+		return &Fault{PC: c.PC, Err: err}
+	}
+	pc := c.PC
+	if err := c.execute(in); err != nil {
+		return &Fault{PC: c.PC, Err: err}
+	}
+	c.instret++
+	if c.noiseNext != 0 {
+		c.interfere()
+	}
+	if c.OnRetire != nil {
+		c.OnRetire(pc, in)
+	}
+	return nil
+}
+
+// Run executes until HALT or until maxInstr instructions retire,
+// returning ErrBudget in the latter case.
+func (c *CPU) Run(maxInstr uint64) error {
+	for i := uint64(0); i < maxInstr; i++ {
+		if c.halted {
+			return nil
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	if c.halted {
+		return nil
+	}
+	return ErrBudget
+}
+
+// next is the fall-through PC for the current instruction.
+func (c *CPU) next() uint64 { return c.PC + isa.InstrSize }
+
+func (c *CPU) execute(in isa.Instruction) error {
+	switch in.Op {
+	case isa.NOP:
+		c.Cycle++
+		c.PC = c.next()
+
+	case isa.HALT:
+		c.Cycle++
+		c.halted = true
+
+	case isa.MOVI:
+		c.Regs[in.Rd] = uint64(in.Imm)
+		c.Cycle++
+		c.regReady[in.Rd] = c.Cycle
+		c.PC = c.next()
+
+	case isa.MOV:
+		c.waitReg(in.Rs1)
+		c.Regs[in.Rd] = c.Regs[in.Rs1]
+		c.Cycle++
+		c.regReady[in.Rd] = c.Cycle
+		c.PC = c.next()
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		v, err := alu(in.Op, c.Regs[in.Rs1], c.Regs[in.Rs2])
+		if err != nil {
+			return err
+		}
+		c.Regs[in.Rd] = v
+		c.Cycle += aluCost(in.Op)
+		c.regReady[in.Rd] = c.Cycle
+		c.PC = c.next()
+
+	case isa.ADDI, isa.SUBI, isa.MULI, isa.DIVI, isa.MODI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+		c.waitReg(in.Rs1)
+		v, err := alu(immOpBase(in.Op), c.Regs[in.Rs1], uint64(in.Imm))
+		if err != nil {
+			return err
+		}
+		c.Regs[in.Rd] = v
+		c.Cycle += aluCost(immOpBase(in.Op))
+		c.regReady[in.Rd] = c.Cycle
+		c.PC = c.next()
+
+	case isa.LOAD, isa.LOADB:
+		c.waitReg(in.Rs1)
+		addr := c.Regs[in.Rs1] + uint64(in.Imm)
+		var v uint64
+		var err error
+		if in.Op == isa.LOAD {
+			v, err = c.Mem.Read64(addr)
+		} else {
+			var b byte
+			b, err = c.Mem.Read8(addr)
+			v = uint64(b)
+		}
+		if err != nil {
+			return err
+		}
+		lat, _ := c.Caches.Access(addr)
+		c.loads++
+		issue := c.Cycle
+		c.Cycle++
+		c.Regs[in.Rd] = v
+		c.regReady[in.Rd] = issue + lat
+		c.PC = c.next()
+
+	case isa.STORE, isa.STOREB:
+		c.waitReg(in.Rs1)
+		addr := c.Regs[in.Rs1] + uint64(in.Imm)
+		var err error
+		if in.Op == isa.STORE {
+			err = c.Mem.Write64(addr, c.Regs[in.Rs2])
+		} else {
+			err = c.Mem.Write8(addr, byte(c.Regs[in.Rs2]))
+		}
+		if err != nil {
+			return err
+		}
+		c.Caches.Access(addr) // write-allocate
+		c.stores++
+		c.Cycle++
+		c.PC = c.next()
+
+	case isa.PUSH:
+		sp := c.Regs[isa.RegSP] - 8
+		if err := c.Mem.Write64(sp, c.Regs[in.Rs1]); err != nil {
+			return err
+		}
+		c.Caches.Access(sp)
+		c.Regs[isa.RegSP] = sp
+		c.stores++
+		c.Cycle++
+		c.regReady[isa.RegSP] = c.Cycle
+		c.PC = c.next()
+
+	case isa.POP:
+		sp := c.Regs[isa.RegSP]
+		v, err := c.Mem.Read64(sp)
+		if err != nil {
+			return err
+		}
+		lat, _ := c.Caches.Access(sp)
+		c.loads++
+		issue := c.Cycle
+		c.Cycle++
+		c.Regs[in.Rd] = v
+		c.regReady[in.Rd] = issue + lat
+		c.Regs[isa.RegSP] = sp + 8
+		c.regReady[isa.RegSP] = c.Cycle
+		c.PC = c.next()
+
+	case isa.CMP:
+		ready := maxU64(c.Cycle+1, maxU64(c.regReady[in.Rs1], c.regReady[in.Rs2]))
+		c.setFlags(c.Regs[in.Rs1], c.Regs[in.Rs2])
+		c.flagsReady = ready
+		c.Cycle++
+		c.PC = c.next()
+
+	case isa.CMPI:
+		ready := maxU64(c.Cycle+1, c.regReady[in.Rs1])
+		c.setFlags(c.Regs[in.Rs1], uint64(in.Imm))
+		c.flagsReady = ready
+		c.Cycle++
+		c.PC = c.next()
+
+	case isa.JMP:
+		c.BP.Stats.Direct++
+		c.Cycle++
+		c.PC = uint64(in.Imm)
+
+	case isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE, isa.JB, isa.JBE, isa.JA, isa.JAE:
+		c.condBranch(in)
+
+	case isa.CALL:
+		sp := c.Regs[isa.RegSP] - 8
+		ret := c.next()
+		if err := c.Mem.Write64(sp, ret); err != nil {
+			return err
+		}
+		c.Caches.Access(sp)
+		c.Regs[isa.RegSP] = sp
+		c.stores++
+		c.BP.RSB.Push(ret)
+		c.BP.Stats.Direct++
+		c.Cycle++
+		c.regReady[isa.RegSP] = c.Cycle
+		c.PC = uint64(in.Imm)
+
+	case isa.CALLR:
+		target := c.Regs[in.Rs1]
+		sp := c.Regs[isa.RegSP] - 8
+		ret := c.next()
+		if err := c.Mem.Write64(sp, ret); err != nil {
+			return err
+		}
+		c.Caches.Access(sp)
+		c.Regs[isa.RegSP] = sp
+		c.stores++
+		c.BP.RSB.Push(ret)
+		c.indirect(in.Rs1, target)
+		c.PC = target
+
+	case isa.JMPR:
+		target := c.Regs[in.Rs1]
+		c.indirect(in.Rs1, target)
+		c.PC = target
+
+	case isa.RET:
+		if err := c.ret(); err != nil {
+			return err
+		}
+
+	case isa.CLFLUSH:
+		if c.cfg.PrivilegedFlush {
+			return errPrivileged
+		}
+		c.waitReg(in.Rs1)
+		c.Caches.Flush(c.Regs[in.Rs1] + uint64(in.Imm))
+		c.flushes++
+		c.Cycle += c.cfg.FlushCost
+		c.PC = c.next()
+
+	case isa.MFENCE:
+		if c.cfg.PrivilegedFlush {
+			return errPrivileged
+		}
+		c.drain()
+		c.fences++
+		c.Cycle += c.cfg.FenceCost
+		c.PC = c.next()
+
+	case isa.LFENCE:
+		c.drain()
+		c.fences++
+		c.Cycle += c.cfg.FenceCost
+		c.PC = c.next()
+
+	case isa.RDTSC:
+		c.Regs[in.Rd] = c.Cycle
+		c.Cycle++
+		c.regReady[in.Rd] = c.Cycle
+		c.PC = c.next()
+
+	case isa.SYSCALL:
+		c.drain()
+		c.syscalls++
+		c.Cycle += 50
+		c.PC = c.next()
+		if c.OnSyscall == nil {
+			return errors.New("cpu: SYSCALL with no handler")
+		}
+		if err := c.OnSyscall(c); err != nil {
+			return err
+		}
+
+	default:
+		return fmt.Errorf("cpu: unimplemented opcode %s", in.Op)
+	}
+	return nil
+}
+
+// condBranch resolves a conditional branch, engaging the predictor and —
+// when the flags are not yet available and the prediction is wrong — a
+// wrong-path speculation episode.
+func (c *CPU) condBranch(in isa.Instruction) {
+	c.BP.Stats.CondBranches++
+	pc := c.PC
+	actual := c.cond(in.Op)
+	pred := c.BP.Cond.Predict(pc)
+	target := uint64(in.Imm)
+	fall := c.next()
+
+	actualPC := fall
+	if actual {
+		actualPC = target
+	}
+
+	resolved := c.flagsReady <= c.Cycle
+	switch {
+	case pred == actual:
+		// Correct prediction: no bubble whether or not resolved.
+		c.Cycle++
+	case resolved:
+		// Wrong but resolved immediately: refill penalty only.
+		c.BP.Stats.CondMispred++
+		c.Cycle += 1 + c.cfg.MispredictPenalty
+	default:
+		// Wrong and unresolved: the wrong path executes until the
+		// flags' data returns plus the pipeline drain — unless the
+		// platform fences conditional branches (context-sensitive
+		// fencing), in which case the front end stalls instead.
+		c.BP.Stats.CondMispred++
+		if !c.cfg.FenceConditional {
+			wrongPC := fall
+			if pred {
+				wrongPC = target
+			}
+			deadline := c.flagsReady + c.cfg.MispredictPenalty
+			c.speculate(wrongPC, deadline)
+		}
+		if c.flagsReady > c.Cycle {
+			c.stallCycles += c.flagsReady - c.Cycle
+			c.Cycle = c.flagsReady
+		}
+		c.Cycle += c.cfg.MispredictPenalty
+	}
+	c.BP.Cond.Update(pc, actual)
+	c.PC = actualPC
+}
+
+// indirect resolves an indirect branch through the BTB. When the target
+// register is still in flight (e.g. a flushed function-pointer load) and
+// the BTB holds a stale entry, the core transiently executes at the
+// stale target until the true target returns — the Spectre-v2 style
+// redirection window.
+func (c *CPU) indirect(rs1 uint8, target uint64) {
+	pc := c.PC
+	c.BP.Stats.Indirect++
+	pred, ok := c.BP.BTB.Predict(pc)
+	resolved := c.regReady[rs1] <= c.Cycle
+	switch {
+	case ok && pred == target:
+		// Correct prediction: no bubble whether or not resolved.
+		c.Cycle++
+	case resolved:
+		c.BP.Stats.IndirectMiss++
+		c.Cycle += 1 + c.cfg.MispredictPenalty
+	default:
+		c.BP.Stats.IndirectMiss++
+		if ok {
+			c.speculate(pred, c.regReady[rs1]+c.cfg.MispredictPenalty)
+		}
+		if c.regReady[rs1] > c.Cycle {
+			c.stallCycles += c.regReady[rs1] - c.Cycle
+			c.Cycle = c.regReady[rs1]
+		}
+		c.Cycle += c.cfg.MispredictPenalty
+	}
+	c.BP.BTB.Update(pc, target)
+}
+
+// ret pops the architectural return address, predicting through the RSB.
+// A mismatch (ROP chains, ret2spec) transiently executes at the RSB's
+// stale prediction while the true address loads.
+func (c *CPU) ret() error {
+	c.BP.Stats.Returns++
+	sp := c.Regs[isa.RegSP]
+	actual, err := c.Mem.Read64(sp)
+	if err != nil {
+		return err
+	}
+	lat, _ := c.Caches.Access(sp)
+	c.loads++
+	c.Regs[isa.RegSP] = sp + 8
+
+	pred, ok := c.BP.RSB.Pop()
+	issue := c.Cycle
+	if ok && pred == actual {
+		c.Cycle++
+	} else {
+		c.BP.Stats.ReturnMispred++
+		if ok && lat > c.Caches.Lat.L1Hit {
+			c.speculate(pred, issue+lat+c.cfg.MispredictPenalty)
+		}
+		// The core cannot redirect until the true address returns.
+		end := issue + lat + c.cfg.MispredictPenalty
+		if end > c.Cycle {
+			c.stallCycles += end - c.Cycle
+			c.Cycle = end
+		}
+	}
+	c.regReady[isa.RegSP] = c.Cycle
+	c.PC = actual
+	return nil
+}
+
+func (c *CPU) setFlags(a, b uint64) {
+	c.flagZ = a == b
+	c.flagLT = int64(a) < int64(b)
+	c.flagB = a < b
+}
+
+func (c *CPU) cond(op isa.Op) bool {
+	return condEval(op, c.flagZ, c.flagLT, c.flagB)
+}
+
+func condEval(op isa.Op, z, lt, b bool) bool {
+	switch op {
+	case isa.JE:
+		return z
+	case isa.JNE:
+		return !z
+	case isa.JL:
+		return lt
+	case isa.JLE:
+		return lt || z
+	case isa.JG:
+		return !lt && !z
+	case isa.JGE:
+		return !lt
+	case isa.JB:
+		return b
+	case isa.JBE:
+		return b || z
+	case isa.JA:
+		return !b && !z
+	case isa.JAE:
+		return !b
+	}
+	return false
+}
+
+var errDivZero = errors.New("cpu: division by zero")
+
+func alu(op isa.Op, a, b uint64) (uint64, error) {
+	switch op {
+	case isa.ADD:
+		return a + b, nil
+	case isa.SUB:
+		return a - b, nil
+	case isa.MUL:
+		return a * b, nil
+	case isa.DIV:
+		if b == 0 {
+			return 0, errDivZero
+		}
+		return a / b, nil
+	case isa.MOD:
+		if b == 0 {
+			return 0, errDivZero
+		}
+		return a % b, nil
+	case isa.AND:
+		return a & b, nil
+	case isa.OR:
+		return a | b, nil
+	case isa.XOR:
+		return a ^ b, nil
+	case isa.SHL:
+		return a << (b & 63), nil
+	case isa.SHR:
+		return a >> (b & 63), nil
+	case isa.SAR:
+		return uint64(int64(a) >> (b & 63)), nil
+	}
+	return 0, fmt.Errorf("cpu: not an ALU op: %s", op)
+}
+
+// immOpBase maps an immediate-form ALU opcode to its register form.
+func immOpBase(op isa.Op) isa.Op {
+	switch op {
+	case isa.ADDI:
+		return isa.ADD
+	case isa.SUBI:
+		return isa.SUB
+	case isa.MULI:
+		return isa.MUL
+	case isa.DIVI:
+		return isa.DIV
+	case isa.MODI:
+		return isa.MOD
+	case isa.ANDI:
+		return isa.AND
+	case isa.ORI:
+		return isa.OR
+	case isa.XORI:
+		return isa.XOR
+	case isa.SHLI:
+		return isa.SHL
+	case isa.SHRI:
+		return isa.SHR
+	}
+	return op
+}
+
+func aluCost(op isa.Op) uint64 {
+	switch op {
+	case isa.MUL:
+		return 3
+	case isa.DIV, isa.MOD:
+		return 20
+	}
+	return 1
+}

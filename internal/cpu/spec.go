@@ -1,0 +1,283 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+)
+
+// specState is the transient copy of architectural state a wrong-path
+// episode mutates. Registers, flags and a byte-granular store buffer are
+// private to the episode and vanish at squash; cache fills made by
+// speculative loads are the only effects that survive (unless
+// Config.SquashCacheEffects models an InvisiSpec-style defense).
+type specState struct {
+	regs     [isa.NumRegs]uint64
+	ready    [isa.NumRegs]uint64
+	flagZ    bool
+	flagLT   bool
+	flagB    bool
+	flagsRdy uint64
+	store    map[uint64]byte
+	filled   []uint64 // addresses whose loads missed (for squash rollback)
+}
+
+// speculate executes the wrong path starting at pc until the episode's
+// deadline cycle, the speculation window fills, a speculation barrier
+// (LFENCE/MFENCE/SYSCALL/HALT) retires, or the path faults. The episode
+// models out-of-order issue: each instruction costs one issue cycle,
+// loads complete asynchronously, and consumers of in-flight values stall
+// the episode clock. Architectural state is untouched.
+func (c *CPU) speculate(pc, deadline uint64) {
+	if !c.cfg.SpeculationEnabled {
+		return
+	}
+	s := specState{
+		regs:     c.Regs,
+		ready:    c.regReady,
+		flagZ:    c.flagZ,
+		flagLT:   c.flagLT,
+		flagB:    c.flagB,
+		flagsRdy: c.flagsReady,
+		store:    make(map[uint64]byte),
+	}
+	cyc := c.Cycle
+
+	wait := func(r uint8) {
+		if s.ready[r] > cyc {
+			cyc = s.ready[r]
+		}
+	}
+
+loop:
+	for n := 0; n < c.cfg.SpecWindow && cyc < deadline; n++ {
+		raw, err := c.Mem.Fetch(pc, isa.InstrSize)
+		if err != nil {
+			break
+		}
+		in, err := isa.Decode(raw)
+		if err != nil {
+			break
+		}
+		c.specInstr++
+		next := pc + isa.InstrSize
+
+		switch in.Op {
+		case isa.NOP:
+			cyc++
+			pc = next
+
+		case isa.MOVI:
+			s.regs[in.Rd] = uint64(in.Imm)
+			cyc++
+			s.ready[in.Rd] = cyc
+			pc = next
+
+		case isa.MOV:
+			wait(in.Rs1)
+			s.regs[in.Rd] = s.regs[in.Rs1]
+			cyc++
+			s.ready[in.Rd] = cyc
+			pc = next
+
+		case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR:
+			wait(in.Rs1)
+			wait(in.Rs2)
+			v, err := alu(in.Op, s.regs[in.Rs1], s.regs[in.Rs2])
+			if err != nil {
+				break loop
+			}
+			s.regs[in.Rd] = v
+			cyc += aluCost(in.Op)
+			s.ready[in.Rd] = cyc
+			pc = next
+
+		case isa.ADDI, isa.SUBI, isa.MULI, isa.DIVI, isa.MODI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+			wait(in.Rs1)
+			v, err := alu(immOpBase(in.Op), s.regs[in.Rs1], uint64(in.Imm))
+			if err != nil {
+				break loop
+			}
+			s.regs[in.Rd] = v
+			cyc += aluCost(immOpBase(in.Op))
+			s.ready[in.Rd] = cyc
+			pc = next
+
+		case isa.LOAD, isa.LOADB:
+			wait(in.Rs1)
+			if cyc >= deadline {
+				break loop
+			}
+			addr := s.regs[in.Rs1] + uint64(in.Imm)
+			size := uint64(8)
+			if in.Op == isa.LOADB {
+				size = 1
+			}
+			v, err := c.specRead(&s, addr, size)
+			if err != nil {
+				break loop
+			}
+			lat, lvl := c.Caches.Access(addr)
+			if lvl > 1 && c.cfg.SquashCacheEffects {
+				s.filled = append(s.filled, addr)
+			}
+			c.specLoads++
+			issue := cyc
+			cyc++
+			s.regs[in.Rd] = v
+			s.ready[in.Rd] = issue + lat
+			pc = next
+
+		case isa.STORE, isa.STOREB:
+			wait(in.Rs1)
+			addr := s.regs[in.Rs1] + uint64(in.Imm)
+			n := uint64(8)
+			if in.Op == isa.STOREB {
+				n = 1
+			}
+			for i := uint64(0); i < n; i++ {
+				s.store[addr+i] = byte(s.regs[in.Rs2] >> (8 * i))
+			}
+			cyc++
+			pc = next
+
+		case isa.PUSH:
+			sp := s.regs[isa.RegSP] - 8
+			for i := uint64(0); i < 8; i++ {
+				s.store[sp+i] = byte(s.regs[in.Rs1] >> (8 * i))
+			}
+			s.regs[isa.RegSP] = sp
+			cyc++
+			s.ready[isa.RegSP] = cyc
+			pc = next
+
+		case isa.POP:
+			sp := s.regs[isa.RegSP]
+			v, err := c.specRead(&s, sp, 8)
+			if err != nil {
+				break loop
+			}
+			lat, lvl := c.Caches.Access(sp)
+			if lvl > 1 && c.cfg.SquashCacheEffects {
+				s.filled = append(s.filled, sp)
+			}
+			c.specLoads++
+			issue := cyc
+			cyc++
+			s.regs[in.Rd] = v
+			s.ready[in.Rd] = issue + lat
+			s.regs[isa.RegSP] = sp + 8
+			s.ready[isa.RegSP] = cyc
+			pc = next
+
+		case isa.CMP:
+			s.flagsRdy = maxU64(cyc+1, maxU64(s.ready[in.Rs1], s.ready[in.Rs2]))
+			a, b := s.regs[in.Rs1], s.regs[in.Rs2]
+			s.flagZ, s.flagLT, s.flagB = a == b, int64(a) < int64(b), a < b
+			cyc++
+			pc = next
+
+		case isa.CMPI:
+			s.flagsRdy = maxU64(cyc+1, s.ready[in.Rs1])
+			a, b := s.regs[in.Rs1], uint64(in.Imm)
+			s.flagZ, s.flagLT, s.flagB = a == b, int64(a) < int64(b), a < b
+			cyc++
+			pc = next
+
+		case isa.JMP:
+			cyc++
+			pc = uint64(in.Imm)
+
+		case isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE, isa.JB, isa.JBE, isa.JA, isa.JAE:
+			// Nested speculation is not modelled: the episode follows
+			// the branch's functional outcome under its own flags.
+			cyc++
+			if condEval(in.Op, s.flagZ, s.flagLT, s.flagB) {
+				pc = uint64(in.Imm)
+			} else {
+				pc = next
+			}
+
+		case isa.CALL:
+			sp := s.regs[isa.RegSP] - 8
+			for i := uint64(0); i < 8; i++ {
+				s.store[sp+i] = byte(next >> (8 * i))
+			}
+			s.regs[isa.RegSP] = sp
+			cyc++
+			s.ready[isa.RegSP] = cyc
+			pc = uint64(in.Imm)
+
+		case isa.CALLR:
+			wait(in.Rs1)
+			sp := s.regs[isa.RegSP] - 8
+			for i := uint64(0); i < 8; i++ {
+				s.store[sp+i] = byte(next >> (8 * i))
+			}
+			s.regs[isa.RegSP] = sp
+			cyc++
+			s.ready[isa.RegSP] = cyc
+			pc = s.regs[in.Rs1]
+
+		case isa.JMPR:
+			wait(in.Rs1)
+			cyc++
+			pc = s.regs[in.Rs1]
+
+		case isa.RET:
+			sp := s.regs[isa.RegSP]
+			v, err := c.specRead(&s, sp, 8)
+			if err != nil {
+				break loop
+			}
+			s.regs[isa.RegSP] = sp + 8
+			cyc++
+			s.ready[isa.RegSP] = cyc
+			pc = v
+
+		case isa.CLFLUSH:
+			// CLFLUSH is not performed speculatively on real parts;
+			// the episode treats it as a no-op slot.
+			cyc++
+			pc = next
+
+		case isa.RDTSC:
+			s.regs[in.Rd] = cyc
+			cyc++
+			s.ready[in.Rd] = cyc
+			pc = next
+
+		case isa.MFENCE, isa.LFENCE, isa.SYSCALL, isa.HALT:
+			// Speculation barriers: the episode cannot retire past them.
+			break loop
+
+		default:
+			break loop
+		}
+	}
+
+	c.squashes++
+	if c.cfg.SquashCacheEffects {
+		for _, addr := range s.filled {
+			c.Caches.Flush(addr)
+		}
+	}
+}
+
+// specRead reads size bytes (little-endian) forwarding from the episode's
+// store buffer, falling back to permission-checked memory. Faults abort
+// the episode (returned as errors).
+func (c *CPU) specRead(s *specState, addr, size uint64) (uint64, error) {
+	var v uint64
+	for i := uint64(0); i < size; i++ {
+		a := addr + i
+		if b, ok := s.store[a]; ok {
+			v |= uint64(b) << (8 * i)
+			continue
+		}
+		b, err := c.Mem.Read8(a)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}

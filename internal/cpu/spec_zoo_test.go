@@ -1,0 +1,214 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// zooVictim builds a bounds-check victim whose wrong path runs the given
+// body; the caller mistrains it and triggers one speculative episode.
+// The test then asserts the squash left no architectural residue.
+func zooVictim(body string) string {
+	return `
+	.entry main
+	victim:
+		movi r3, size_var
+		load r4, [r3]
+		cmp r1, r4
+		jae v_out
+` + body + `
+	v_out:
+		ret
+	main:
+		movi r9, 6
+	train:
+		movi r1, 0
+		call victim
+		subi r9, r9, 1
+		cmpi r9, 0
+		jne train
+		movi r3, size_var
+		clflush [r3]
+		mfence
+		movi r1, 99
+		call victim
+		lfence
+		halt
+	.data
+	.align 64
+	size_var: .word 4
+	.align 64
+	scratch: .word 1111, 2222, 3333
+	.align 64
+	probe: .space 131072
+	`
+}
+
+// runZoo executes the victim and returns the core plus its image.
+func runZoo(t *testing.T, body string) (*CPU, *isa.Image) {
+	t.Helper()
+	c, img := load(t, zooVictim(body), DefaultConfig())
+	mustRun(t, c, 100_000)
+	if c.Snapshot().Squashes == 0 {
+		t.Fatal("no speculative episode ran; zoo premise broken")
+	}
+	return c, img
+}
+
+func TestSpecZooStoresInvisible(t *testing.T) {
+	// The body stores to scratch + r1*8: training (r1 in 0..3) writes
+	// the first slots architecturally; the malicious r1=99 lands 792
+	// bytes out — but only speculatively, so that memory stays zero.
+	c, img := runZoo(t, `
+		mov r5, r1
+		shli r5, r5, 3
+		movi r6, scratch
+		add r6, r6, r5
+		movi r7, 9999
+		store [r6], r7
+	`)
+	s := img.MustSymbol("scratch")
+	if v, _ := c.Mem.Peek64(s + 99*8); v != 0 {
+		t.Errorf("speculative store leaked architecturally: %d", v)
+	}
+	// Training stores were architectural and did land.
+	if v, _ := c.Mem.Peek64(s); v != 9999 {
+		t.Errorf("training store missing: %d", v)
+	}
+}
+
+func TestSpecZooPopAndCall(t *testing.T) {
+	// Wrong-path POP, CALL, CALLR and nested RET must not corrupt the
+	// architectural stack or registers.
+	c, _ := runZoo(t, `
+		push r4
+		pop r5
+		movi r6, helper
+		callr r6
+		call helper
+	helper:
+		ret
+	`)
+	// Architectural execution completed normally: sp balanced at halt.
+	if c.Regs[isa.RegSP] == 0 {
+		t.Error("stack pointer corrupted")
+	}
+}
+
+func TestSpecZooDivByZeroEndsEpisode(t *testing.T) {
+	// Divisor = r1 - 99: nonzero for every training value, exactly zero
+	// for the malicious index — the division by zero happens only on
+	// the wrong path and must end the episode, not fault the machine.
+	c, img := runZoo(t, `
+		movi r5, 99
+		sub r5, r1, r5
+		div r6, r4, r5
+		mov r7, r1
+		shli r7, r7, 9
+		movi r8, probe
+		add r8, r8, r7
+		loadb r8, [r8]
+	`)
+	if !c.Halted() {
+		t.Error("machine did not complete after transient div-by-zero")
+	}
+	if c.Caches.Cached(img.MustSymbol("probe") + 99*512) {
+		t.Error("episode continued past the transient div-by-zero")
+	}
+}
+
+func TestSpecZooFaultingLoadEndsEpisode(t *testing.T) {
+	// Address = scratch + (r1 << 15): mapped for training values,
+	// unmapped for the malicious index. The wrong-path fault must end
+	// the episode silently — no architectural fault, no later fills.
+	c, img := runZoo(t, `
+		mov r5, r1
+		shli r5, r5, 15
+		movi r6, scratch
+		add r6, r6, r5
+		load r6, [r6]
+		mov r7, r1
+		shli r7, r7, 9
+		movi r8, probe
+		add r8, r8, r7
+		loadb r8, [r8]
+	`)
+	if !c.Halted() {
+		t.Error("machine faulted architecturally on a transient access")
+	}
+	if c.Caches.Cached(img.MustSymbol("probe") + 99*512) {
+		t.Error("episode continued past a faulting load")
+	}
+}
+
+func TestSpecZooJumpFamily(t *testing.T) {
+	// Wrong-path direct/indirect jumps and conditional branches route
+	// the episode; the r1-indexed probe touch proves the full chain ran
+	// on the malicious index only.
+	c, img := runZoo(t, `
+		movi r5, 1
+		cmpi r5, 2
+		jl spec_on
+		jmp v_out
+	spec_on:
+		movi r6, spec_tail
+		jmpr r6
+	spec_tail:
+		mov r7, r1
+		shli r7, r7, 9
+		movi r8, probe
+		add r8, r8, r7
+		loadb r8, [r8]
+	`)
+	if !c.Caches.Cached(img.MustSymbol("probe") + 99*512) {
+		t.Error("episode did not follow the jump chain")
+	}
+}
+
+func TestSpecZooRdtscAndClflush(t *testing.T) {
+	// RDTSC in an episode reads the episode clock; the architectural
+	// clflush in the body (exercised during training) composes fine with
+	// episodes; the r1-indexed probe touch proves the episode ran.
+	c, img := runZoo(t, `
+		rdtsc r5
+		mov r7, r1
+		shli r7, r7, 9
+		movi r8, probe
+		add r8, r8, r7
+		loadb r8, [r8]
+	`)
+	if !c.Caches.Cached(img.MustSymbol("probe") + 99*512) {
+		t.Error("episode did not run to the probe touch")
+	}
+}
+
+func TestSpecZooWindowBudgetExhaustion(t *testing.T) {
+	// The probe touch sits 10 instructions into the wrong path: an
+	// 8-instruction window must cut it off, a 64-instruction window
+	// must reach it.
+	body := `
+		movi r5, 1
+		movi r5, 2
+		movi r5, 3
+		movi r5, 4
+		movi r5, 5
+		mov r7, r1
+		shli r7, r7, 9
+		movi r8, probe
+		add r8, r8, r7
+		loadb r8, [r8]         ; 10th wrong-path instruction
+	`
+	tiny := DefaultConfig()
+	tiny.SpecWindow = 8
+	c, img := load(t, zooVictim(body), tiny)
+	mustRun(t, c, 100_000)
+	if c.Caches.Cached(img.MustSymbol("probe") + 99*512) {
+		t.Error("episode exceeded its window budget")
+	}
+	c2, img2 := load(t, zooVictim(body), DefaultConfig())
+	mustRun(t, c2, 100_000)
+	if !c2.Caches.Cached(img2.MustSymbol("probe") + 99*512) {
+		t.Error("default window failed to reach the probe touch")
+	}
+}

@@ -1,0 +1,251 @@
+// Package debug is the reproduction's GDB analogue — the methodology
+// tool of the paper's §II-C ("We load the compiled victim binary in the
+// Linux Debugger (GDB) to search for all instructions that end in a ret
+// instruction"). It attaches to a simulated core and provides execution
+// tracing with a bounded ring buffer, PC breakpoints at addresses or
+// symbols, call-stack reconstruction, and symbolised state dumps.
+package debug
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// Event is one retired instruction in the trace.
+type Event struct {
+	Seq   uint64 // retirement index
+	Cycle uint64 // cycle at retirement
+	PC    uint64
+	Instr isa.Instruction
+}
+
+// Frame is one reconstructed call-stack entry.
+type Frame struct {
+	CallPC   uint64 // address of the CALL/CALLR
+	TargetPC uint64 // callee entry
+	Return   uint64 // return address the call pushed
+}
+
+// Debugger attaches to a core, observing retirements.
+type Debugger struct {
+	cpu *cpu.CPU
+
+	symbols  map[string]uint64
+	revSyms  map[uint64]string
+	symAddrs []uint64
+
+	trace     []Event
+	traceCap  int
+	traceHead int
+	traceLen  int
+	seq       uint64
+
+	breakpoints map[uint64]bool
+	hitBreak    *Event
+
+	stack []Frame
+
+	watches    []watchRegion
+	watchHits  []WatchHit
+	watchNames []string
+}
+
+// ErrBreak reports that execution stopped at a breakpoint.
+type ErrBreak struct{ Ev Event }
+
+func (e *ErrBreak) Error() string {
+	return fmt.Sprintf("debug: breakpoint at %#x (seq %d)", e.Ev.PC, e.Ev.Seq)
+}
+
+// Attach wires a debugger onto the core, keeping the last traceCap
+// retired instructions. It replaces the core's OnRetire hook.
+func Attach(c *cpu.CPU, traceCap int) *Debugger {
+	if traceCap <= 0 {
+		traceCap = 256
+	}
+	d := &Debugger{
+		cpu:         c,
+		traceCap:    traceCap,
+		trace:       make([]Event, traceCap),
+		breakpoints: map[uint64]bool{},
+		symbols:     map[string]uint64{},
+		revSyms:     map[uint64]string{},
+	}
+	c.OnRetire = d.onRetire
+	return d
+}
+
+// AddSymbols registers a symbol table (e.g. a linked image's) for
+// symbolised output and symbolic breakpoints.
+func (d *Debugger) AddSymbols(symbols map[string]uint64) {
+	for name, addr := range symbols {
+		d.symbols[name] = addr
+		d.revSyms[addr] = name
+	}
+	d.symAddrs = d.symAddrs[:0]
+	for addr := range d.revSyms {
+		d.symAddrs = append(d.symAddrs, addr)
+	}
+	sort.Slice(d.symAddrs, func(i, j int) bool { return d.symAddrs[i] < d.symAddrs[j] })
+}
+
+// Symbolize renders an address as "symbol+offset" when a symbol at or
+// below it is known, else hex.
+func (d *Debugger) Symbolize(addr uint64) string {
+	i := sort.Search(len(d.symAddrs), func(i int) bool { return d.symAddrs[i] > addr })
+	if i == 0 {
+		return fmt.Sprintf("%#x", addr)
+	}
+	base := d.symAddrs[i-1]
+	name := d.revSyms[base]
+	if off := addr - base; off != 0 {
+		// Far offsets are likelier to be a different, unnamed region.
+		if off > 1<<16 {
+			return fmt.Sprintf("%#x", addr)
+		}
+		return fmt.Sprintf("%s+%#x", name, off)
+	}
+	return name
+}
+
+// Break sets a breakpoint at an absolute address.
+func (d *Debugger) Break(addr uint64) { d.breakpoints[addr] = true }
+
+// BreakSymbol sets a breakpoint at a registered symbol.
+func (d *Debugger) BreakSymbol(name string) error {
+	addr, ok := d.symbols[name]
+	if !ok {
+		return fmt.Errorf("debug: unknown symbol %q", name)
+	}
+	d.Break(addr)
+	return nil
+}
+
+// ClearBreak removes a breakpoint.
+func (d *Debugger) ClearBreak(addr uint64) { delete(d.breakpoints, addr) }
+
+func (d *Debugger) onRetire(pc uint64, in isa.Instruction) {
+	ev := Event{Seq: d.seq, Cycle: d.cpu.Cycle, PC: pc, Instr: in}
+	d.seq++
+	d.trace[d.traceHead] = ev
+	d.traceHead = (d.traceHead + 1) % d.traceCap
+	if d.traceLen < d.traceCap {
+		d.traceLen++
+	}
+	switch in.Op {
+	case isa.CALL, isa.CALLR:
+		d.stack = append(d.stack, Frame{CallPC: pc, TargetPC: d.cpu.PC, Return: pc + isa.InstrSize})
+	case isa.RET:
+		// A ROP chain returns to addresses no call produced; pop only a
+		// matching frame so hijacks leave the mismatch visible.
+		if n := len(d.stack); n > 0 && d.stack[n-1].Return == d.cpu.PC {
+			d.stack = d.stack[:n-1]
+		}
+	}
+	if d.breakpoints[d.cpu.PC] {
+		evCopy := ev
+		d.hitBreak = &evCopy
+	}
+}
+
+// Run executes until a breakpoint, HALT or the budget; a breakpoint stop
+// returns *ErrBreak with the core positioned at the breakpoint address.
+func (d *Debugger) Run(budget uint64) error {
+	d.hitBreak = nil
+	for i := uint64(0); i < budget; i++ {
+		if d.cpu.Halted() {
+			return nil
+		}
+		if err := d.cpu.Step(); err != nil {
+			return err
+		}
+		if d.hitBreak != nil {
+			ev := *d.hitBreak
+			d.hitBreak = nil
+			return &ErrBreak{Ev: ev}
+		}
+	}
+	if d.cpu.Halted() {
+		return nil
+	}
+	return cpu.ErrBudget
+}
+
+// Step retires one instruction.
+func (d *Debugger) Step() error { return d.cpu.Step() }
+
+// Trace returns the retained events, oldest first.
+func (d *Debugger) Trace() []Event {
+	out := make([]Event, 0, d.traceLen)
+	start := (d.traceHead - d.traceLen + d.traceCap) % d.traceCap
+	for i := 0; i < d.traceLen; i++ {
+		out = append(out, d.trace[(start+i)%d.traceCap])
+	}
+	return out
+}
+
+// CallStack returns the reconstructed frames, outermost first.
+func (d *Debugger) CallStack() []Frame {
+	return append([]Frame(nil), d.stack...)
+}
+
+// DumpState writes a GDB-style state report: registers, the call stack,
+// and the last n trace entries, all symbolised.
+func (d *Debugger) DumpState(w io.Writer, lastN int) {
+	c := d.cpu
+	fmt.Fprintf(w, "pc  = %-24s cycle=%d instret=%d\n", d.Symbolize(c.PC), c.Cycle, c.Instret())
+	for i := 0; i < isa.NumRegs; i++ {
+		name := fmt.Sprintf("r%d", i)
+		switch i {
+		case isa.RegSP:
+			name = "sp"
+		case isa.RegBP:
+			name = "bp"
+		}
+		fmt.Fprintf(w, "%-3s = %#016x", name, c.Regs[i])
+		if (i+1)%2 == 0 {
+			fmt.Fprintln(w)
+		} else {
+			fmt.Fprint(w, "   ")
+		}
+	}
+	fmt.Fprintln(w, "call stack (innermost last):")
+	for _, f := range d.stack {
+		fmt.Fprintf(w, "  %s -> %s (ret %s)\n",
+			d.Symbolize(f.CallPC), d.Symbolize(f.TargetPC), d.Symbolize(f.Return))
+	}
+	tr := d.Trace()
+	if lastN > 0 && len(tr) > lastN {
+		tr = tr[len(tr)-lastN:]
+	}
+	fmt.Fprintf(w, "trace (last %d):\n", len(tr))
+	for _, ev := range tr {
+		fmt.Fprintf(w, "  %8d  %-28s %s\n", ev.Cycle, d.Symbolize(ev.PC), ev.Instr)
+	}
+}
+
+// FindRets scans the trace for RET retirements whose successor PC was
+// never pushed by a call — the ROP fingerprint a human analyst (the
+// paper's "human-in-the-loop") would look for.
+func (d *Debugger) FindRets() []Event {
+	var out []Event
+	for _, ev := range d.Trace() {
+		if ev.Instr.Op == isa.RET {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// String summarises the debugger state in one line.
+func (d *Debugger) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "debug{pc=%s depth=%d traced=%d bps=%d}",
+		d.Symbolize(d.cpu.PC), len(d.stack), d.traceLen, len(d.breakpoints))
+	return b.String()
+}

@@ -1,0 +1,303 @@
+package debug
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+const program = `
+.entry main
+helper:
+	addi r2, r2, 1
+	ret
+main:
+	movi r1, 3
+loop:
+	call helper
+	subi r1, r1, 1
+	cmpi r1, 0
+	jne loop
+	halt
+`
+
+func attach(t *testing.T, src string, traceCap int) (*vm.Machine, *Debugger, map[string]uint64) {
+	t.Helper()
+	m := vm.New(vm.DefaultConfig())
+	m.Register("p", isa.MustAssemble(src), 0x100000)
+	img, err := m.Load("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("p"); err != nil {
+		t.Fatal(err)
+	}
+	d := Attach(m.CPU, traceCap)
+	d.AddSymbols(img.Symbols)
+	return m, d, img.Symbols
+}
+
+func TestTraceRecordsRetirements(t *testing.T) {
+	_, d, _ := attach(t, program, 256)
+	if err := d.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace()
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Sequenced, monotonic cycles, last is HALT.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Seq != tr[i-1].Seq+1 {
+			t.Fatal("trace sequence broken")
+		}
+		if tr[i].Cycle < tr[i-1].Cycle {
+			t.Fatal("trace cycles not monotonic")
+		}
+	}
+	if tr[len(tr)-1].Instr.Op != isa.HALT {
+		t.Errorf("last traced op = %s", tr[len(tr)-1].Instr.Op)
+	}
+}
+
+func TestTraceRingBufferKeepsTail(t *testing.T) {
+	_, d, _ := attach(t, program, 4)
+	if err := d.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace()
+	if len(tr) != 4 {
+		t.Fatalf("ring kept %d", len(tr))
+	}
+	if tr[3].Instr.Op != isa.HALT {
+		t.Error("ring did not keep the most recent events")
+	}
+}
+
+func TestBreakpointAtSymbol(t *testing.T) {
+	m, d, syms := attach(t, program, 64)
+	if err := d.BreakSymbol("helper"); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Run(1000)
+	var br *ErrBreak
+	if !errors.As(err, &br) {
+		t.Fatalf("expected breakpoint, got %v", err)
+	}
+	if m.CPU.PC != syms["helper"] {
+		t.Errorf("stopped at %#x, want helper %#x", m.CPU.PC, syms["helper"])
+	}
+	// Resume: hits it twice more, then halts.
+	hits := 1
+	for {
+		err = d.Run(1000)
+		if errors.As(err, &br) {
+			hits++
+			continue
+		}
+		break
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 3 {
+		t.Errorf("breakpoint hit %d times, want 3", hits)
+	}
+	if !m.CPU.Halted() {
+		t.Error("program did not finish after resumes")
+	}
+}
+
+func TestClearBreak(t *testing.T) {
+	_, d, syms := attach(t, program, 64)
+	d.Break(syms["helper"])
+	d.ClearBreak(syms["helper"])
+	if err := d.Run(1000); err != nil {
+		t.Fatalf("cleared breakpoint still fired: %v", err)
+	}
+}
+
+func TestBreakUnknownSymbol(t *testing.T) {
+	_, d, _ := attach(t, program, 64)
+	if err := d.BreakSymbol("nope"); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+}
+
+func TestCallStackTracksNesting(t *testing.T) {
+	src := `
+.entry main
+inner:
+	ret
+outer:
+	call inner
+	ret
+main:
+	call outer
+	halt
+`
+	_, d, syms := attach(t, src, 64)
+	if err := d.BreakSymbol("inner"); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Run(1000)
+	var br *ErrBreak
+	if !errors.As(err, &br) {
+		t.Fatalf("no break: %v", err)
+	}
+	st := d.CallStack()
+	if len(st) != 2 {
+		t.Fatalf("stack depth %d, want 2", len(st))
+	}
+	if st[0].TargetPC != syms["outer"] || st[1].TargetPC != syms["inner"] {
+		t.Errorf("stack = %+v", st)
+	}
+	// Run to completion: stack unwinds.
+	if err := d.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.CallStack()) != 0 {
+		t.Errorf("stack not unwound: %+v", d.CallStack())
+	}
+}
+
+func TestROPLeavesDanglingFrames(t *testing.T) {
+	// A smashed return address breaks call/return pairing: the frame is
+	// never popped — the analyst-visible hijack fingerprint.
+	src := `
+.entry main
+gadget:
+	halt
+f:
+	movi r1, gadget
+	store [sp], r1
+	ret
+main:
+	call f
+	halt
+`
+	_, d, _ := attach(t, src, 64)
+	if err := d.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.CallStack()) != 1 {
+		t.Errorf("hijacked return should leave a dangling frame, stack=%+v", d.CallStack())
+	}
+}
+
+func TestSymbolize(t *testing.T) {
+	_, d, syms := attach(t, program, 64)
+	if got := d.Symbolize(syms["helper"]); got != "helper" {
+		t.Errorf("Symbolize(helper) = %q", got)
+	}
+	if got := d.Symbolize(syms["helper"] + 16); !strings.Contains(got, "helper+0x10") {
+		t.Errorf("offset form = %q", got)
+	}
+	if got := d.Symbolize(4); !strings.HasPrefix(got, "0x") {
+		t.Errorf("below all symbols = %q", got)
+	}
+}
+
+func TestDumpState(t *testing.T) {
+	_, d, _ := attach(t, program, 64)
+	if err := d.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	d.DumpState(&buf, 5)
+	out := buf.String()
+	for _, want := range []string{"pc  =", "sp  =", "call stack", "trace (last"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFindRets(t *testing.T) {
+	_, d, _ := attach(t, program, 256)
+	if err := d.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	rets := d.FindRets()
+	if len(rets) != 3 {
+		t.Errorf("found %d rets, want 3", len(rets))
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	_, d, _ := attach(t, program, 64)
+	if s := d.String(); !strings.Contains(s, "debug{") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+// TestWatchpointCatchesOverflow arms a watch on the saved return
+// address and catches the smashing store red-handed, with the offending
+// PC symbolised — the analyst workflow for diagnosing the ROP injection.
+func TestWatchpointCatchesOverflow(t *testing.T) {
+	src := `
+.entry main
+smash:
+	movi r1, 0xBAD
+	store [sp], r1       ; overwrite own return address
+	movi r1, sp_ok
+	store [sp], r1       ; then point it somewhere harmless
+	ret
+main:
+	call smash
+sp_ok:
+	halt
+`
+	m, d, syms := attach(t, src, 64)
+	// Watch the word just below the initial SP: the frame smash lands
+	// there when main's call pushes and smash stores through sp.
+	spTop := m.CPU.Regs[15]
+	d.WatchWrites("saved-ret", spTop-8, 8)
+	if err := d.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	hits := d.WatchHits()
+	if len(hits) < 2 {
+		t.Fatalf("watch recorded %d hits, want the smash stores (>=2: call push also lands)", len(hits))
+	}
+	// At least one hit must come from inside `smash`.
+	found := false
+	for _, h := range hits {
+		if h.PC >= syms["smash"] && h.PC < syms["main"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no hit attributed to the smashing function: %+v", hits)
+	}
+	rep := d.ReportWatches()
+	if !strings.Contains(rep, "saved-ret") || !strings.Contains(rep, "smash") {
+		t.Errorf("report not symbolised:\n%s", rep)
+	}
+}
+
+func TestClearWatches(t *testing.T) {
+	m, d, _ := attach(t, program, 64)
+	d.WatchWrites("x", 0, 1<<20)
+	d.ClearWatches()
+	if err := d.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.WatchHits()) != 0 {
+		t.Error("cleared watch still recorded hits")
+	}
+	if m.Mem.OnWrite != nil {
+		t.Error("hook not removed")
+	}
+}
+
+func TestNoWatchHitsReport(t *testing.T) {
+	_, d, _ := attach(t, program, 64)
+	if !strings.Contains(d.ReportWatches(), "no watchpoint hits") {
+		t.Error("empty report wrong")
+	}
+}

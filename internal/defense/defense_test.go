@@ -1,0 +1,185 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+)
+
+func eval(t *testing.T, p Posture, a Attacker) Outcome {
+	t.Helper()
+	o, err := Evaluate(p, a, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestShellcodeWorksWithoutDEP(t *testing.T) {
+	o := eval(t, Posture{}, Attacker{})
+	if !o.Success || o.Stage != StageComplete {
+		t.Errorf("executable stack should fall to shellcode: %+v", o)
+	}
+}
+
+func TestDEPForcesCodeReuseButROPStillWins(t *testing.T) {
+	// The CR-Spectre premise: DEP alone cannot stop a code-reuse attack.
+	o := eval(t, Posture{DEP: true}, Attacker{})
+	if !o.Success {
+		t.Errorf("ROP should defeat DEP alone: %+v", o)
+	}
+}
+
+func TestShellcodeDiesUnderDEP(t *testing.T) {
+	// Force the shellcode path against a DEP stack by building the
+	// payload manually: the matrix never does this (the attacker adapts),
+	// so check the underlying mechanism via postures: with DEP on and
+	// ROP unavailable the attack would fault. Here we verify the chosen
+	// path: DEP => the evaluator used ROP and succeeded, covered above;
+	// the DEP fault itself is covered in cpu's DEP test.
+	o := eval(t, Posture{DEP: true}, Attacker{})
+	if o.Faulted {
+		t.Errorf("ROP path should not fault under DEP: %+v", o)
+	}
+}
+
+func TestCanaryStopsBlindOverflow(t *testing.T) {
+	o := eval(t, Posture{DEP: true, Canary: true}, Attacker{})
+	if o.Success {
+		t.Errorf("canary should stop a blind overflow: %+v", o)
+	}
+	if !o.Aborted {
+		t.Errorf("expected stack-smashing abort, got %+v", o)
+	}
+}
+
+func TestLeakedCanaryBypasses(t *testing.T) {
+	o := eval(t, Posture{DEP: true, Canary: true}, Attacker{LeakCanary: true})
+	if !o.Success {
+		t.Errorf("leaked canary should restore the attack: %+v", o)
+	}
+}
+
+func TestASLRStopsStaleAddresses(t *testing.T) {
+	o := eval(t, Posture{DEP: true, ASLR: true}, Attacker{})
+	if o.Success {
+		t.Errorf("ASLR with no leak should break the chain: %+v", o)
+	}
+	if o.Injected && o.Success {
+		t.Error("stale chain should not exec the attack")
+	}
+}
+
+func TestLeakedLayoutBypassesASLR(t *testing.T) {
+	o := eval(t, Posture{DEP: true, ASLR: true}, Attacker{LeakLayout: true})
+	if !o.Success {
+		t.Errorf("layout leak should restore the attack: %+v", o)
+	}
+}
+
+func TestAllMemoryDefensesWithLeaksStillFall(t *testing.T) {
+	// The paper's §I argument: DEP + canary + ASLR are each bypassable;
+	// CR-Spectre assumes an attacker with the published bypasses.
+	o := eval(t, Posture{DEP: true, Canary: true, ASLR: true},
+		Attacker{LeakCanary: true, LeakLayout: true})
+	if !o.Success {
+		t.Errorf("full bypass kit should defeat the memory defenses: %+v", o)
+	}
+}
+
+func TestPrivilegedFlushKillsTheChannel(t *testing.T) {
+	// §IV countermeasure 1: user-mode clflush faults, so the receiver
+	// cannot flush and the perturbation cannot run.
+	o := eval(t, Posture{DEP: true, PrivilegedFlush: true}, Attacker{Perturb: true})
+	if o.Success {
+		t.Errorf("privileged clflush should break flush+reload: %+v", o)
+	}
+	if !o.Faulted {
+		t.Errorf("expected the attack binary to fault on clflush: %+v", o)
+	}
+	// The injection itself still works — the countermeasure stops the
+	// covert channel, not the control-flow hijack.
+	if !o.Injected {
+		t.Errorf("injection should still succeed: %+v", o)
+	}
+}
+
+func TestInvisiSpecStopsTheLeak(t *testing.T) {
+	o := eval(t, Posture{DEP: true, InvisiSpec: true}, Attacker{})
+	if o.Success {
+		t.Errorf("InvisiSpec rollback should hide the fills: %+v", o)
+	}
+	if !o.Injected {
+		t.Errorf("injection unaffected by InvisiSpec: %+v", o)
+	}
+}
+
+func TestNoSpeculationStopsTheLeak(t *testing.T) {
+	o := eval(t, Posture{DEP: true, NoSpeculation: true}, Attacker{})
+	if o.Success {
+		t.Errorf("fully fenced core should stop the leak: %+v", o)
+	}
+}
+
+func TestMatrixCoversScenarios(t *testing.T) {
+	rows, err := Matrix(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("matrix has %d rows", len(rows))
+	}
+	byName := map[string]Outcome{}
+	for _, r := range rows {
+		byName[r.Name] = r.Outcome
+		if r.Outcome.Detail == "" {
+			t.Errorf("%s: empty detail", r.Name)
+		}
+	}
+	wins := []string{
+		"no defenses (executable stack)",
+		"DEP only",
+		"DEP + canary, leaked canary",
+		"DEP + ASLR, leaked layout",
+		"all memory defenses, both leaks",
+		"context-sensitive fencing, RSB variant",
+	}
+	for _, n := range wins {
+		if !byName[n].Success {
+			t.Errorf("%s: attack should succeed: %s", n, byName[n].Detail)
+		}
+	}
+	losses := []string{
+		"DEP + canary",
+		"DEP + ASLR",
+		"context-sensitive fencing [19]",
+		"privileged clflush (§IV)",
+		"InvisiSpec",
+		"speculation disabled",
+	}
+	for _, n := range losses {
+		if byName[n].Success {
+			t.Errorf("%s: attack should fail", n)
+		}
+	}
+}
+
+func TestDeterministicOutcomes(t *testing.T) {
+	a, err := Evaluate(Posture{DEP: true, ASLR: true}, Attacker{LeakLayout: true}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(Posture{DEP: true, ASLR: true}, Attacker{LeakLayout: true}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestOutcomeDetailMentionsCause(t *testing.T) {
+	o := eval(t, Posture{DEP: true, Canary: true}, Attacker{})
+	if !strings.Contains(o.Detail, "canary") && !strings.Contains(o.Detail, "smashing") {
+		t.Errorf("detail %q does not explain the canary abort", o.Detail)
+	}
+}

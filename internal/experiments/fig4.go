@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/mibench"
+	"repro/internal/ml"
+	"repro/internal/trace"
+)
+
+// Fig4FeatureSizes are the monitored-feature counts the paper sweeps.
+var Fig4FeatureSizes = []int{16, 8, 4, 2, 1}
+
+// Fig4Hosts returns the four benign applications of Fig. 4's legend
+// (Spectre_1 = Math, per Table I's first row; the others are further
+// MiBench members).
+func Fig4Hosts() []mibench.Workload {
+	return []mibench.Workload{
+		mibench.Math(300),
+		mibench.Bitcount("bitcount_50M", 20_000),
+		mibench.SHA1(40),
+		mibench.Qsort(384),
+	}
+}
+
+// Fig4Row is one bar of Fig. 4: HID accuracy distinguishing one benign
+// host from the (variant-averaged) Spectre attack at one feature size.
+type Fig4Row struct {
+	Host        string
+	FeatureSize int
+	Accuracy    float64
+}
+
+// Fig4 reproduces the feature-size sweep: for each benign host and each
+// feature count, train the HID (MLP, like the paper's primary detector)
+// on host-vs-Spectre traces and report test accuracy. Expected shape:
+// >80-90% for sizes >= 2, collapse toward chance at size 1.
+func Fig4(cfg Config) ([]Fig4Row, error) {
+	attack, err := cfg.AttackCorpus(cfg.SamplesPerClass)
+	if err != nil {
+		return nil, fmt.Errorf("fig4: attack corpus: %w", err)
+	}
+	hosts := Fig4Hosts()
+	benign := make([]*trace.Set, len(hosts))
+	for i, w := range hosts {
+		// The benign class is the host plus the background applications
+		// (the paper's "browsers, text editors, etc." profiling scope).
+		apps := append([]mibench.Workload{w}, mibench.Backgrounds()...)
+		b, err := cfg.BenignCorpus(apps, cfg.SamplesPerClass)
+		if err != nil {
+			return nil, fmt.Errorf("fig4: benign corpus %s: %w", w.Name, err)
+		}
+		benign[i] = b
+	}
+
+	var rows []Fig4Row
+	for _, size := range Fig4FeatureSizes {
+		pAttack := attack.Project(size)
+		for i, w := range hosts {
+			full := benign[i].Project(size)
+			if err := full.Merge(pAttack); err != nil {
+				return nil, err
+			}
+			train, test := full.Data.Split(0.7, cfg.Seed+int64(size)*31+int64(i))
+			clf := ml.NewMLP(cfg.Seed + int64(i))
+			var sc ml.Scaler
+			if err := clf.Fit(sc.FitTransform(train.X), train.Y); err != nil {
+				return nil, fmt.Errorf("fig4: fit %s/%d: %w", w.Name, size, err)
+			}
+			acc := ml.EvaluateAccuracy(clf, sc.Transform(test.X), test.Y)
+			rows = append(rows, Fig4Row{Host: w.Name, FeatureSize: size, Accuracy: acc})
+		}
+	}
+	return rows, nil
+}

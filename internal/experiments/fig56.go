@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hid"
+	"repro/internal/mibench"
+	"repro/internal/ml"
+	"repro/internal/perturb"
+	"repro/internal/pmu"
+	"repro/internal/spectre"
+	"repro/internal/trace"
+)
+
+// AttemptPoint is one plotted point of Figs. 5/6: a detector's accuracy
+// on one attack attempt's trace mix.
+type AttemptPoint struct {
+	Classifier string
+	Attempt    int
+	Accuracy   float64
+	Verdict    hid.Verdict
+	Variant    string // perturbation variant in effect ("" for plain)
+	Recovered  bool   // the covert channel returned the exact secret
+}
+
+// CampaignResult holds both panels of Fig. 5 or Fig. 6.
+type CampaignResult struct {
+	Online bool
+	// Plain is panel (a): the traditional standalone Spectre attack.
+	Plain []AttemptPoint
+	// CR is panel (b): ROP-injected CR-Spectre with perturbations.
+	CR []AttemptPoint
+}
+
+// Fig5 runs the offline-HID campaign (panel a: plain Spectre stays
+// detected at high accuracy; panel b: CR-Spectre with the static
+// Algorithm-2 variant plus a ramping dispersion schedule degrades the
+// static detector below the 55% evasion threshold).
+func Fig5(cfg Config) (*CampaignResult, error) { return cfg.campaign(false) }
+
+// Fig6 runs the online-HID campaign (panel a: retraining keeps the
+// detector leveled; panel b: dynamic perturbation mutation each time the
+// detector exceeds 80% produces the sawtooth degradation with the low
+// observed minima).
+func Fig6(cfg Config) (*CampaignResult, error) { return cfg.campaign(true) }
+
+// detector abstracts the offline/online HIDs for the campaign loop.
+type detector interface {
+	Train(ml.Dataset) error
+	Accuracy(ml.Dataset) float64
+	Name() string
+}
+
+type campaignState struct {
+	det        detector
+	online     *hid.Online // non-nil in the online campaign
+	variant    perturb.Params
+	probeDelay int64
+	rng        *rand.Rand
+}
+
+func (cfg Config) newStates(online bool, train ml.Dataset, seedOff int64) ([]*campaignState, error) {
+	var states []*campaignState
+	for i, name := range cfg.Classifiers {
+		clf, ok := ml.ByName(name, cfg.Seed+int64(i)+seedOff)
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown classifier %q", name)
+		}
+		st := &campaignState{
+			variant: perturb.Paper(),
+			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i)*97 + seedOff)),
+		}
+		if online {
+			o := hid.NewOnline(clf)
+			st.det, st.online = o, o
+		} else {
+			st.det = hid.New(clf)
+		}
+		if err := st.det.Train(train); err != nil {
+			return nil, fmt.Errorf("campaign: train %s: %w", name, err)
+		}
+		states = append(states, st)
+	}
+	return states, nil
+}
+
+func (cfg Config) campaign(online bool) (*CampaignResult, error) {
+	benign, err := cfg.BenignCorpus(mibench.AllWithBackgrounds(), cfg.SamplesPerClass)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: benign corpus: %w", err)
+	}
+	attackTrain, err := cfg.AttackCorpus(cfg.SamplesPerClass)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: attack corpus: %w", err)
+	}
+	train := benign.Project(cfg.FeatureSize)
+	if err := train.Merge(attackTrain.Project(cfg.FeatureSize)); err != nil {
+		return nil, err
+	}
+	benignEval := benign.Project(cfg.FeatureSize)
+
+	plainStates, err := cfg.newStates(online, train.Data, 0)
+	if err != nil {
+		return nil, err
+	}
+	crStates, err := cfg.newStates(online, train.Data, 1000)
+	if err != nil {
+		return nil, err
+	}
+
+	host, err := mibench.ByName("math")
+	if err != nil {
+		return nil, err
+	}
+	variants := spectre.Variants()
+	res := &CampaignResult{Online: online}
+
+	for attempt := 1; attempt <= cfg.Attempts; attempt++ {
+		seed := cfg.Seed*1_000_003 + int64(attempt)
+
+		// Panel (a): plain standalone Spectre, variants rotating across
+		// attempts (the paper averages over the variant set).
+		spec := AttackSpec{Variant: variants[(attempt-1)%len(variants)]}
+		samples, m, err := cfg.standaloneRun(spec, seed)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: attempt %d standalone: %w", attempt, err)
+		}
+		recovered := m.Output.String() == cfg.Secret
+		aSet := trace.NewSet(pmu.AllEvents())
+		aSet.AddNoisy("spectre", trace.LabelAttack, samples, cfg.NoiseSigma, seed)
+		eval := cfg.evalMix(aSet.Project(cfg.FeatureSize), benignEval, seed)
+		for _, st := range plainStates {
+			acc := st.det.Accuracy(eval.Data)
+			res.Plain = append(res.Plain, AttemptPoint{
+				Classifier: st.det.Name(),
+				Attempt:    attempt,
+				Accuracy:   acc,
+				Verdict:    hid.Judge(acc),
+				Recovered:  recovered,
+			})
+			if st.online != nil {
+				if err := st.online.Observe(eval.Data); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Panel (b): CR-Spectre. Offline HIDs face the single static
+		// Algorithm-2 variant with the dispersion-delay schedule ramping
+		// per attempt (no feedback needed against a detector that never
+		// learns); online HIDs face per-detector dynamic mutation.
+		for _, st := range crStates {
+			variant := st.variant
+			var pd int64
+			if online {
+				pd = st.probeDelay
+			} else {
+				variant = perturb.Paper()
+				variant.Delay = int64(attempt) * 30
+				pd = int64(attempt-1) * 90
+			}
+			crSpec := AttackSpec{
+				Variant:    variants[(attempt-1)%len(variants)],
+				Perturb:    &variant,
+				ProbeDelay: pd,
+			}
+			cr, err := cfg.crRun(host, crSpec, seed+int64(len(st.det.Name())))
+			if err != nil {
+				return nil, fmt.Errorf("campaign: attempt %d cr (%s): %w", attempt, st.det.Name(), err)
+			}
+			crSet := trace.NewSet(pmu.AllEvents())
+			crSet.AddNoisy("cr-spectre", trace.LabelAttack, cr.Samples, cfg.NoiseSigma, seed)
+			crEval := cfg.evalMix(crSet.Project(cfg.FeatureSize), benignEval, seed+7)
+			acc := st.det.Accuracy(crEval.Data)
+			res.CR = append(res.CR, AttemptPoint{
+				Classifier: st.det.Name(),
+				Attempt:    attempt,
+				Accuracy:   acc,
+				Verdict:    hid.Judge(acc),
+				Variant:    variant.String(),
+				Recovered:  cr.Recovered == cfg.Secret && cr.Injected,
+			})
+			if st.online != nil {
+				if err := st.online.Observe(crEval.Data); err != nil {
+					return nil, err
+				}
+				// Defense-aware adaptation (§II-E): mutate when caught.
+				if acc > hid.DetectThreshold {
+					st.variant = st.variant.Mutate(st.rng)
+					st.probeDelay = 60 + st.rng.Int63n(400)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Points selects one classifier's series from a panel.
+func Points(panel []AttemptPoint, classifier string) []AttemptPoint {
+	var out []AttemptPoint
+	for _, p := range panel {
+		if p.Classifier == classifier {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MeanAccuracy averages a panel's accuracy.
+func MeanAccuracy(panel []AttemptPoint) float64 {
+	if len(panel) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range panel {
+		s += p.Accuracy
+	}
+	return s / float64(len(panel))
+}
+
+// MinAccuracy returns the lowest accuracy in a panel (the paper reports
+// a 16% minimum for the online CR campaign).
+func MinAccuracy(panel []AttemptPoint) float64 {
+	if len(panel) == 0 {
+		return 0
+	}
+	minA := panel[0].Accuracy
+	for _, p := range panel {
+		if p.Accuracy < minA {
+			minA = p.Accuracy
+		}
+	}
+	return minA
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"repro/internal/hid"
+	"repro/internal/mibench"
+	"repro/internal/ml"
+	"repro/internal/perturb"
+	"repro/internal/pmu"
+	"repro/internal/spectre"
+	"repro/internal/trace"
+)
+
+// LatencyRow reports how quickly one online detector adapted to a fresh
+// perturbation variant it had never seen.
+type LatencyRow struct {
+	Classifier string
+	Variant    string
+	// BatchesToDetect is the number of observe/retrain rounds before
+	// accuracy exceeded the 80% detection threshold (-1 = never within
+	// the budget). Round 1 is the first encounter.
+	BatchesToDetect int
+	// Trajectory is the accuracy after each round.
+	Trajectory []float64
+}
+
+// DetectionLatency is an extension experiment beyond the paper's plots:
+// it quantifies the online HID's reaction time — the window during which
+// a freshly mutated CR-Spectre variant exfiltrates undetected before
+// retraining catches it. That window is exactly what the paper's
+// attacker exploits by mutating again once caught.
+func DetectionLatency(cfg Config, maxBatches int) ([]LatencyRow, error) {
+	if maxBatches <= 0 {
+		maxBatches = 6
+	}
+	benign, err := cfg.BenignCorpus(mibench.AllWithBackgrounds(), cfg.SamplesPerClass)
+	if err != nil {
+		return nil, err
+	}
+	attackTrain, err := cfg.AttackCorpus(cfg.SamplesPerClass)
+	if err != nil {
+		return nil, err
+	}
+	train := benign.Project(cfg.FeatureSize)
+	if err := train.Merge(attackTrain.Project(cfg.FeatureSize)); err != nil {
+		return nil, err
+	}
+	benignEval := benign.Project(cfg.FeatureSize)
+	host, err := mibench.ByName("math")
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []LatencyRow
+	for i, name := range cfg.Classifiers {
+		clf, ok := ml.ByName(name, cfg.Seed+int64(i))
+		if !ok {
+			return nil, fmt.Errorf("latency: unknown classifier %q", name)
+		}
+		det := hid.NewOnline(clf)
+		if err := det.Train(train.Data); err != nil {
+			return nil, err
+		}
+		// A fresh variant the detector has never observed, with heavy
+		// dispersion so it starts in evading territory.
+		rng := rand.New(rand.NewSource(cfg.Seed + 7000 + int64(i)))
+		variant := perturb.Paper().Mutate(rng)
+		variant.Delay = 100 + rng.Int63n(100)
+		pd := int64(200 + rng.Int63n(200))
+
+		row := LatencyRow{Classifier: name, Variant: variant.String(), BatchesToDetect: -1}
+		for batch := 1; batch <= maxBatches; batch++ {
+			cr, err := cfg.crRun(host, AttackSpec{
+				Variant:    spectre.Variants()[(batch-1)%len(spectre.Variants())],
+				Perturb:    &variant,
+				ProbeDelay: pd,
+			}, cfg.Seed*31+int64(batch)+int64(i)*977)
+			if err != nil {
+				return nil, err
+			}
+			crSet := trace.NewSet(pmu.AllEvents())
+			crSet.AddNoisy("cr", trace.LabelAttack, cr.Samples, cfg.NoiseSigma, cfg.Seed+int64(batch))
+			eval := cfg.evalMix(crSet.Project(cfg.FeatureSize), benignEval, cfg.Seed+int64(batch)*13)
+			acc := det.Accuracy(eval.Data)
+			row.Trajectory = append(row.Trajectory, acc)
+			if acc > hid.DetectThreshold && row.BatchesToDetect < 0 {
+				row.BatchesToDetect = batch
+				break
+			}
+			if err := det.Observe(eval.Data); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderLatency prints the detection-latency table.
+func RenderLatency(w io.Writer, rows []LatencyRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "classifier\tbatches to detect\taccuracy trajectory")
+	for _, r := range rows {
+		det := "never"
+		if r.BatchesToDetect > 0 {
+			det = fmt.Sprintf("%d", r.BatchesToDetect)
+		}
+		traj := ""
+		for i, a := range r.Trajectory {
+			if i > 0 {
+				traj += " -> "
+			}
+			traj += fmt.Sprintf("%.0f%%", 100*a)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", r.Classifier, det, traj)
+	}
+	tw.Flush()
+}

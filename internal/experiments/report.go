@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// RenderFig4 prints the feature-size sweep as a matrix (hosts x sizes),
+// mirroring the paper's grouped bars.
+func RenderFig4(w io.Writer, rows []Fig4Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	hosts := []string{}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Host] {
+			seen[r.Host] = true
+			hosts = append(hosts, r.Host)
+		}
+	}
+	fmt.Fprintf(tw, "feature size")
+	for _, h := range hosts {
+		fmt.Fprintf(tw, "\t%s", h)
+	}
+	fmt.Fprintln(tw)
+	for _, size := range Fig4FeatureSizes {
+		fmt.Fprintf(tw, "%d", size)
+		for _, h := range hosts {
+			for _, r := range rows {
+				if r.Host == h && r.FeatureSize == size {
+					fmt.Fprintf(tw, "\t%.1f%%", 100*r.Accuracy)
+				}
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Fig4CSV writes the sweep as CSV.
+func Fig4CSV(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "host,feature_size,accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%d,%.4f\n", r.Host, r.FeatureSize, r.Accuracy)
+	}
+}
+
+// RenderCampaign prints both panels of a Fig. 5/6 campaign as attempt
+// series per classifier.
+func RenderCampaign(w io.Writer, res *CampaignResult, classifiers []string) {
+	kind := "offline"
+	if res.Online {
+		kind = "online"
+	}
+	renderPanel := func(title string, panel []AttemptPoint) {
+		fmt.Fprintf(w, "%s (%s-type HID)\n", title, kind)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "attempt")
+		for _, c := range classifiers {
+			fmt.Fprintf(tw, "\t%s", c)
+		}
+		fmt.Fprintln(tw)
+		byKey := map[string]AttemptPoint{}
+		maxAttempt := 0
+		for _, p := range panel {
+			byKey[fmt.Sprintf("%s/%d", p.Classifier, p.Attempt)] = p
+			if p.Attempt > maxAttempt {
+				maxAttempt = p.Attempt
+			}
+		}
+		for a := 1; a <= maxAttempt; a++ {
+			fmt.Fprintf(tw, "%d", a)
+			for _, c := range classifiers {
+				if p, ok := byKey[fmt.Sprintf("%s/%d", c, a)]; ok {
+					fmt.Fprintf(tw, "\t%.1f%%", 100*p.Accuracy)
+				} else {
+					fmt.Fprintf(tw, "\t-")
+				}
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	renderPanel("(a) original Spectre", res.Plain)
+	fmt.Fprintln(w)
+	renderPanel("(b) CR-Spectre", res.CR)
+	fmt.Fprintf(w, "\nCR panel: mean %.1f%%, min %.1f%%\n", 100*MeanAccuracy(res.CR), 100*MinAccuracy(res.CR))
+}
+
+// CampaignCSV writes both panels as CSV.
+func CampaignCSV(w io.Writer, res *CampaignResult) {
+	fmt.Fprintln(w, "panel,classifier,attempt,accuracy,verdict,variant,recovered")
+	emit := func(panel string, pts []AttemptPoint) {
+		for _, p := range pts {
+			variant := strings.ReplaceAll(p.Variant, ",", ";")
+			fmt.Fprintf(w, "%s,%s,%d,%.4f,%s,%s,%t\n", panel, p.Classifier, p.Attempt, p.Accuracy, p.Verdict, variant, p.Recovered)
+		}
+	}
+	emit("spectre", res.Plain)
+	emit("cr-spectre", res.CR)
+}
+
+// RenderTable1 prints the IPC overhead table in the paper's layout.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tOriginal (IPC)\tCR-Spectre offline-HID (IPC)\tCR-Spectre online-HID (IPC)\toverhead off\toverhead on")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.2f%%\t%.2f%%\n",
+			r.Benchmark, r.IPCOriginal, r.IPCOffline, r.IPCOnline,
+			100*r.OverheadOffline, 100*r.OverheadOnline)
+	}
+	tw.Flush()
+	off, on := MeanOverheads(rows)
+	fmt.Fprintf(w, "mean perturbation overhead: offline %.2f%%, online %.2f%%\n", 100*off, 100*on)
+}
+
+// Table1CSV writes the overhead table as CSV.
+func Table1CSV(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "benchmark,ipc_original,ipc_offline,ipc_online,overhead_offline,overhead_online")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			r.Benchmark, r.IPCOriginal, r.IPCOffline, r.IPCOnline, r.OverheadOffline, r.OverheadOnline)
+	}
+}

@@ -1,0 +1,159 @@
+package gadget_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gadget"
+	"repro/internal/isa"
+	"repro/internal/rop"
+)
+
+func linkedHost(t *testing.T) *isa.Image {
+	t.Helper()
+	src := rop.HostSource("workload_main:\n\tret\n", rop.HostOptions{})
+	mod, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := mod.Link(0x100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestScanFindsRuntimeGadgets(t *testing.T) {
+	img := linkedHost(t)
+	gs := gadget.Scan(img, 3)
+	if len(gs) == 0 {
+		t.Fatal("no gadgets found in host image")
+	}
+	var havePop0, havePop1, haveSyscall bool
+	for _, g := range gs {
+		if g.Len() == 2 && g.Instrs[0].Op == isa.POP && g.Instrs[0].Rd == 0 {
+			havePop0 = true
+		}
+		if g.Len() == 2 && g.Instrs[0].Op == isa.POP && g.Instrs[0].Rd == 1 {
+			havePop1 = true
+		}
+		if g.Len() == 2 && g.Instrs[0].Op == isa.SYSCALL {
+			haveSyscall = true
+		}
+	}
+	if !havePop0 || !havePop1 || !haveSyscall {
+		t.Errorf("gadget coverage: pop r0=%v pop r1=%v syscall=%v", havePop0, havePop1, haveSyscall)
+	}
+}
+
+func TestScanGadgetsEndInRet(t *testing.T) {
+	img := linkedHost(t)
+	for _, g := range gadget.Scan(img, 4) {
+		if g.Instrs[len(g.Instrs)-1].Op != isa.RET {
+			t.Fatalf("gadget %s does not end in ret", g)
+		}
+		for _, in := range g.Instrs[:len(g.Instrs)-1] {
+			if in.Op.IsBranch() || in.Op == isa.HALT {
+				t.Fatalf("gadget %s contains control flow before ret", g)
+			}
+		}
+	}
+}
+
+func TestScanAddressesDecodeToGadget(t *testing.T) {
+	img := linkedHost(t)
+	for _, g := range gadget.Scan(img, 2) {
+		off := g.Addr - img.Base
+		in, err := isa.Decode(img.Code[off:])
+		if err != nil {
+			t.Fatalf("gadget addr %#x does not decode: %v", g.Addr, err)
+		}
+		if in != g.Instrs[0] {
+			t.Fatalf("gadget addr %#x decodes to %s, gadget says %s", g.Addr, in, g.Instrs[0])
+		}
+	}
+}
+
+func TestCatalogClassification(t *testing.T) {
+	img := linkedHost(t)
+	cat := gadget.ScanAndCatalog(img, 3)
+	if _, ok := cat.PopReg(0); !ok {
+		t.Error("catalog missing pop r0")
+	}
+	if _, ok := cat.PopReg(1); !ok {
+		t.Error("catalog missing pop r1")
+	}
+	if _, ok := cat.Syscall(); !ok {
+		t.Error("catalog missing syscall gadget")
+	}
+	if _, ok := cat.RetOnly(); !ok {
+		t.Error("catalog missing bare ret")
+	}
+	if _, ok := cat.PopReg(9); ok {
+		t.Error("catalog invented a pop r9 gadget")
+	}
+}
+
+func TestBuildSyscallChainShape(t *testing.T) {
+	img := linkedHost(t)
+	cat := gadget.ScanAndCatalog(img, 3)
+	ch, err := cat.BuildSyscall(
+		gadget.RegValue{Reg: 1, Value: 0x8000},
+		gadget.RegValue{Reg: 0, Value: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ch.Words()
+	// gadget, value, gadget, value, gadget.
+	if len(w) != 5 {
+		t.Fatalf("chain has %d words", len(w))
+	}
+	if w[1] != 0x8000 || w[3] != 3 {
+		t.Errorf("chain values = %#x, %#x", w[1], w[3])
+	}
+	pop1, _ := cat.PopReg(1)
+	sys, _ := cat.Syscall()
+	if w[0] != pop1.Addr || w[4] != sys.Addr {
+		t.Error("chain gadget addresses wrong")
+	}
+	if !strings.Contains(ch.Describe(), "syscall") {
+		t.Error("chain description missing syscall")
+	}
+}
+
+func TestChainBytesLittleEndian(t *testing.T) {
+	var ch gadget.Chain
+	ch.AppendValue(0x0102030405060708)
+	b := ch.Bytes()
+	if len(b) != 8 || b[0] != 0x08 || b[7] != 0x01 {
+		t.Errorf("chain bytes = %v", b)
+	}
+}
+
+func TestBuildMissingGadgetFails(t *testing.T) {
+	cat := gadget.NewCatalog(nil)
+	if _, err := cat.BuildSetRegs(gadget.RegValue{Reg: 0, Value: 1}); err == nil {
+		t.Error("empty catalog built a chain")
+	}
+	if _, err := cat.BuildSyscall(); err == nil {
+		t.Error("empty catalog built a syscall chain")
+	}
+}
+
+func TestGadgetString(t *testing.T) {
+	g := gadget.Gadget{Addr: 0x1000, Instrs: []isa.Instruction{{Op: isa.POP, Rd: 1}, {Op: isa.RET}}}
+	s := g.String()
+	if !strings.Contains(s, "pop r1") || !strings.Contains(s, "ret") || !strings.Contains(s, "0x1000") {
+		t.Errorf("gadget string = %q", s)
+	}
+}
+
+func TestScanMaxLenRespected(t *testing.T) {
+	img := linkedHost(t)
+	for _, g := range gadget.Scan(img, 2) {
+		if g.Len() > 2 {
+			t.Fatalf("gadget longer than maxLen: %s", g)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package hid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+// cluster makes a Gaussian blob labelled y centred at c.
+func cluster(n int, c float64, y int, seed int64) ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var d ml.Dataset
+	for i := 0; i < n; i++ {
+		d.X = append(d.X, []float64{c + rng.NormFloat64(), c - rng.NormFloat64()})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func twoClass(n int, sep float64, seed int64) ml.Dataset {
+	d := cluster(n/2, -sep/2, 0, seed)
+	d.Append(cluster(n/2, sep/2, 1, seed+1))
+	d.Shuffle(seed + 2)
+	return d
+}
+
+func TestDetectorTrainAndScore(t *testing.T) {
+	d := New(ml.NewLogReg(1))
+	if d.Trained() {
+		t.Fatal("detector trained before Train")
+	}
+	if acc := d.Accuracy(twoClass(50, 6, 3)); acc != 0 {
+		t.Error("untrained accuracy should be 0")
+	}
+	data := twoClass(400, 6, 3)
+	if err := d.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Trained() {
+		t.Fatal("detector not marked trained")
+	}
+	if acc := d.Accuracy(twoClass(200, 6, 9)); acc < 0.95 {
+		t.Errorf("accuracy on separable classes = %.3f", acc)
+	}
+	if d.Name() != "lr" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestDetectorRejectsBadData(t *testing.T) {
+	d := New(ml.NewSVM(1))
+	if err := d.Train(ml.Dataset{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if err := d.Train(ml.Dataset{X: [][]float64{{1}, {2, 3}}, Y: []int{0, 1}}); err == nil {
+		t.Error("ragged training set accepted")
+	}
+}
+
+func TestDetectorConfusion(t *testing.T) {
+	d := New(ml.NewLogReg(2))
+	if err := d.Train(twoClass(400, 8, 5)); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Confusion(twoClass(200, 8, 6))
+	if c.TP+c.FN != 100 || c.TN+c.FP != 100 {
+		t.Errorf("confusion totals wrong: %+v", c)
+	}
+	if c.Recall() < 0.9 {
+		t.Errorf("recall %.3f on separable data", c.Recall())
+	}
+}
+
+// clusterAt makes a Gaussian blob labelled y centred at (cx, cy).
+func clusterAt(n int, cx, cy float64, y int, seed int64) ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var d ml.Dataset
+	for i := 0; i < n; i++ {
+		d.X = append(d.X, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+// TestOnlineAdaptsToShiftedDistribution is the Fig. 6 mechanism: a
+// distribution shift evades the detector until it observes labelled
+// samples of the shift and retrains. The deep NN handles the resulting
+// non-convex attack region.
+func TestOnlineAdaptsToShiftedDistribution(t *testing.T) {
+	o := NewOnline(ml.NewDeepNN(3))
+	base := clusterAt(200, -4, -4, 0, 7)
+	base.Append(clusterAt(200, 4, 4, 1, 8))
+	base.Shuffle(9)
+	if err := o.Train(base); err != nil {
+		t.Fatal(err)
+	}
+	before := o.CorpusSize()
+
+	// Attack samples shifted to a region the detector has mapped to
+	// benign territory: evades.
+	shifted := clusterAt(100, -12, -4, 1, 11)
+	if acc := o.Accuracy(shifted); acc > 0.5 {
+		t.Fatalf("shifted attack already detected (%.3f); test premise broken", acc)
+	}
+	// Observe (defender labels the traces) and retrain.
+	if err := o.Observe(shifted); err != nil {
+		t.Fatal(err)
+	}
+	if o.CorpusSize() != before+shifted.Len() {
+		t.Errorf("corpus size %d, want %d", o.CorpusSize(), before+shifted.Len())
+	}
+	if acc := o.Accuracy(clusterAt(100, -12, -4, 1, 13)); acc < 0.55 {
+		t.Errorf("online HID failed to adapt: %.3f", acc)
+	}
+}
+
+func TestOfflineDoesNotAdapt(t *testing.T) {
+	d := New(ml.NewLogReg(3))
+	if err := d.Train(twoClass(400, 8, 7)); err != nil {
+		t.Fatal(err)
+	}
+	shifted := cluster(100, -4, 1, 11)
+	a1 := d.Accuracy(shifted)
+	// No Observe API exists on the offline detector; re-scoring gives
+	// the same result (static model).
+	a2 := d.Accuracy(shifted)
+	if a1 != a2 {
+		t.Errorf("offline detector changed: %.3f vs %.3f", a1, a2)
+	}
+}
+
+func TestJudgeThresholds(t *testing.T) {
+	cases := map[float64]Verdict{
+		0.10: VerdictEvaded,
+		0.55: VerdictEvaded,
+		0.60: VerdictContested,
+		0.80: VerdictContested,
+		0.81: VerdictDetected,
+		0.99: VerdictDetected,
+	}
+	for acc, want := range cases {
+		if got := Judge(acc); got != want {
+			t.Errorf("Judge(%.2f) = %s, want %s", acc, got, want)
+		}
+	}
+}
+
+func TestThresholdConstantsMatchPaper(t *testing.T) {
+	if EvadeThreshold != 0.55 {
+		t.Errorf("evade threshold %v, paper says 55%%", EvadeThreshold)
+	}
+	if DetectThreshold != 0.80 {
+		t.Errorf("detect threshold %v, paper says 80%%", DetectThreshold)
+	}
+}
+
+func TestOnlineObserveDoesNotAliasCallerData(t *testing.T) {
+	o := NewOnline(ml.NewLogReg(5))
+	base := twoClass(100, 8, 21)
+	if err := o.Train(base); err != nil {
+		t.Fatal(err)
+	}
+	obs := cluster(10, 2, 1, 22)
+	if err := o.Observe(obs); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's slice must not corrupt the corpus.
+	obs.X[0][0] = 1e9
+	if err := o.Observe(cluster(10, 2, 1, 23)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowedEvictsOldTraces(t *testing.T) {
+	o := NewWindowed(ml.NewLogReg(9), 100)
+	if err := o.Train(twoClass(150, 8, 31)); err != nil {
+		t.Fatal(err)
+	}
+	if o.CorpusSize() != 100 {
+		t.Errorf("train did not trim: %d", o.CorpusSize())
+	}
+	if err := o.Observe(twoClass(40, 8, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if o.CorpusSize() != 100 {
+		t.Errorf("observe did not trim: %d", o.CorpusSize())
+	}
+}
+
+func TestWindowedForgets(t *testing.T) {
+	// Learn a shifted attack cluster, then flood the window with other
+	// traffic: the old knowledge must disappear.
+	o := NewWindowed(ml.NewDeepNN(3), 200)
+	base := clusterAt(100, -4, -4, 0, 7)
+	base.Append(clusterAt(100, 4, 4, 1, 8))
+	base.Shuffle(9)
+	if err := o.Train(base); err != nil {
+		t.Fatal(err)
+	}
+	shifted := clusterAt(80, -12, -4, 1, 11)
+	if err := o.Observe(shifted); err != nil {
+		t.Fatal(err)
+	}
+	if acc := o.Accuracy(clusterAt(50, -12, -4, 1, 12)); acc < 0.5 {
+		t.Fatalf("windowed HID failed to learn the shift (%.2f)", acc)
+	}
+	// Flood: several batches of ordinary traffic push the shifted
+	// cluster out of the window.
+	for k := int64(0); k < 6; k++ {
+		flood := clusterAt(50, -4, -4, 0, 20+k)
+		flood.Append(clusterAt(50, 4, 4, 1, 40+k))
+		if err := o.Observe(flood); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc := o.Accuracy(clusterAt(50, -12, -4, 1, 13)); acc > 0.5 {
+		t.Errorf("windowed HID still remembers the evicted cluster (%.2f)", acc)
+	}
+}
+
+func TestWindowedMinimumWindow(t *testing.T) {
+	o := NewWindowed(ml.NewLogReg(1), 0)
+	if err := o.Train(twoClass(10, 8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if o.CorpusSize() != 1 {
+		t.Errorf("window 0 should clamp to 1, corpus=%d", o.CorpusSize())
+	}
+}
+
+func TestEnsembleMajority(t *testing.T) {
+	e := NewEnsemble(ml.NewLogReg(1), ml.NewSVM(2), ml.NewMLP(3))
+	data := twoClass(400, 6, 41)
+	if err := e.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	if acc := e.Accuracy(twoClass(200, 6, 42)); acc < 0.95 {
+		t.Errorf("ensemble accuracy %.3f on separable data", acc)
+	}
+	if e.Name() != "ensemble" {
+		t.Error("name wrong")
+	}
+}
+
+func TestEnsembleEmptyRejected(t *testing.T) {
+	e := NewEnsemble()
+	if err := e.Train(twoClass(10, 6, 1)); err == nil {
+		t.Error("empty ensemble trained")
+	}
+}
+
+func TestEnsembleTieBreaksTowardAttack(t *testing.T) {
+	// Two members disagreeing => flagged as attack.
+	agree := NewEnsemble(ml.NewLogReg(1), ml.NewLogReg(1))
+	d := twoClass(200, 8, 3)
+	if err := agree.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	// A point exactly between the clusters is ambiguous; we just check
+	// the voting rule directly with a crafted committee: one member that
+	// always says attack would tie a 2-member committee.
+	x := []float64{0, 0}
+	v := 0
+	for _, m := range agree.members {
+		v += m.Predict(x)
+	}
+	want := 0
+	if 2*v >= len(agree.members) {
+		want = 1
+	}
+	if got := agree.Predict(x); got != want {
+		t.Errorf("predict = %d, want %d by the tie rule", got, want)
+	}
+}

@@ -1,0 +1,41 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmAll decodes every instruction in code (which must be a whole
+// number of InstrSize slots) and renders one line per instruction,
+// prefixed with the absolute address starting at base. Slots that fail to
+// decode render as "??".
+func DisasmAll(code []byte, base uint64) string {
+	var b strings.Builder
+	for off := 0; off+InstrSize <= len(code); off += InstrSize {
+		addr := base + uint64(off)
+		in, err := Decode(code[off:])
+		if err != nil {
+			fmt.Fprintf(&b, "%#010x: ??\n", addr)
+			continue
+		}
+		fmt.Fprintf(&b, "%#010x: %s\n", addr, in)
+	}
+	return b.String()
+}
+
+// DecodeAll decodes code into a slice of instructions, failing on the
+// first invalid slot.
+func DecodeAll(code []byte) ([]Instruction, error) {
+	if len(code)%InstrSize != 0 {
+		return nil, fmt.Errorf("isa: code length %d not a multiple of %d", len(code), InstrSize)
+	}
+	out := make([]Instruction, 0, len(code)/InstrSize)
+	for off := 0; off < len(code); off += InstrSize {
+		in, err := Decode(code[off:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: at offset %#x: %w", off, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAssemblerNeverPanics feeds the assembler pseudo-random token
+// soup: it must either return an *AsmError or produce a linkable module —
+// never panic, never return an unclassified error.
+func TestQuickAssemblerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	tokens := []string{
+		"movi", "add", "load", "store", "jmp", "ret", "call", "cmp",
+		"r0", "r1", "r15", "sp", "bp", "r99", "zz",
+		"42", "-1", "0x10", "'a'", "label", "label:", ",", "[", "]",
+		"[r1+8]", "[sp-4]", ".data", ".text", ".word", ".byte",
+		".space", ".asciz", `"s"`, ".align", ".equ", ".entry", ";c",
+		"\n", "\t", " ",
+	}
+	f := func() bool {
+		var b strings.Builder
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+			b.WriteByte(' ')
+			if rng.Intn(4) == 0 {
+				b.WriteByte('\n')
+			}
+		}
+		src := b.String()
+		mod, err := func() (m *Module, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("assembler panicked on %q: %v", src, r)
+				}
+			}()
+			return Assemble(src)
+		}()
+		if err != nil {
+			_, ok := err.(*AsmError)
+			return ok
+		}
+		// Assembled: it must also link cleanly.
+		_, err = mod.Link(0x10000)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics throws random bytes at the decoder.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		var buf [InstrSize]byte
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		in, err := Decode(buf[:])
+		if err != nil {
+			return true
+		}
+		// Valid decodes must re-encode to the identical bytes
+		// (canonical encoding).
+		var out [InstrSize]byte
+		if err := in.Encode(out[:]); err != nil {
+			return false
+		}
+		return out == buf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReadImageNeverPanics throws random bytes at the object-file
+// reader.
+func TestQuickReadImageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func() bool {
+		n := rng.Intn(256)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		// Sometimes start with the right magic to reach deeper paths.
+		if n >= 4 && rng.Intn(2) == 0 {
+			copy(buf, "SIMX")
+		}
+		_, err := ReadImage(strings.NewReader(string(buf)))
+		return err != nil // random bytes must never parse as a full image
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the unit of memory protection in the simulated machine.
+// Sections are page-aligned so DEP can mark code executable and data
+// non-executable independently.
+const PageSize = 4096
+
+// Image is a Module linked at a concrete load base: encoded code bytes,
+// data bytes, and an absolute symbol table. Images are what the loader
+// maps into machine memory and what the gadget scanner inspects.
+type Image struct {
+	Base     uint64            // load address of the code section
+	Code     []byte            // encoded instructions (len % InstrSize == 0)
+	DataBase uint64            // load address of the data section
+	Data     []byte            // initialised data
+	Entry    uint64            // absolute entry point
+	Symbols  map[string]uint64 // absolute symbol addresses
+}
+
+// Link resolves the module at the given base address. The code section is
+// placed at base and the data section at the next page boundary after the
+// code. Base must be page-aligned.
+func (m *Module) Link(base uint64) (*Image, error) {
+	if base%PageSize != 0 {
+		return nil, fmt.Errorf("isa: link base %#x not page-aligned", base)
+	}
+	codeSize := uint64(len(m.code)) * InstrSize
+	dataBase := base + alignUp(codeSize, PageSize)
+
+	symAddr := func(name string) (uint64, error) {
+		s, ok := m.symbols[name]
+		if !ok {
+			return 0, fmt.Errorf("isa: undefined symbol %q", name)
+		}
+		if s.isEqu {
+			return uint64(s.value), nil
+		}
+		if s.sec == secText {
+			return base + s.off, nil
+		}
+		return dataBase + s.off, nil
+	}
+
+	img := &Image{
+		Base:     base,
+		DataBase: dataBase,
+		Code:     make([]byte, codeSize),
+		Data:     append([]byte(nil), m.data...),
+		Symbols:  make(map[string]uint64, len(m.symbols)),
+	}
+	for name := range m.symbols {
+		a, err := symAddr(name)
+		if err != nil {
+			return nil, err
+		}
+		img.Symbols[name] = a
+	}
+
+	// Apply code relocations onto copies of the instructions, then encode.
+	code := make([]Instruction, len(m.code))
+	copy(code, m.code)
+	for _, r := range m.codeRel {
+		a, err := symAddr(r.sym)
+		if err != nil {
+			return nil, errf(r.line, "%v", err)
+		}
+		code[r.instr].Imm += int64(a)
+	}
+	for i, in := range code {
+		if err := in.Encode(img.Code[i*InstrSize:]); err != nil {
+			return nil, fmt.Errorf("isa: instruction %d (%s): %w", i, in, err)
+		}
+	}
+	for _, r := range m.dataRel {
+		a, err := symAddr(r.sym)
+		if err != nil {
+			return nil, errf(r.line, "%v", err)
+		}
+		v := a + uint64(r.addend)
+		for i := 0; i < 8; i++ {
+			img.Data[r.off+uint64(i)] = byte(v >> (8 * i))
+		}
+	}
+
+	if ep, ok := img.Symbols[m.entryName]; ok {
+		img.Entry = ep
+	} else {
+		img.Entry = base
+	}
+	return img, nil
+}
+
+// NumInstructions returns the number of instructions in the module.
+func (m *Module) NumInstructions() int { return len(m.code) }
+
+// DataSize returns the size of the module's data section in bytes.
+func (m *Module) DataSize() int { return len(m.data) }
+
+// SymbolNames returns all symbol names in sorted order.
+func (m *Module) SymbolNames() []string {
+	names := make([]string, 0, len(m.symbols))
+	for n := range m.symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Symbol returns the absolute address of a linked symbol.
+func (img *Image) Symbol(name string) (uint64, bool) {
+	a, ok := img.Symbols[name]
+	return a, ok
+}
+
+// MustSymbol is Symbol that panics if the symbol is missing.
+func (img *Image) MustSymbol(name string) uint64 {
+	a, ok := img.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("isa: missing symbol %q", name))
+	}
+	return a
+}
+
+// End returns the first address past the image (data end, page-aligned).
+func (img *Image) End() uint64 {
+	return img.DataBase + alignUp(uint64(len(img.Data)), PageSize)
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

@@ -1,0 +1,187 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InstrSize is the fixed encoded size of every instruction, in bytes.
+// A fixed width keeps gadget discovery well-defined: code addresses are
+// always multiples of InstrSize from the image base.
+const InstrSize = 16
+
+// NumRegs is the number of architectural general-purpose registers.
+const NumRegs = 16
+
+// Conventional register roles. SP is the hardware stack pointer used
+// implicitly by PUSH/POP/CALL/RET.
+const (
+	RegSP = 15 // stack pointer
+	RegBP = 14 // frame/base pointer (convention only)
+)
+
+// Instruction is one decoded machine instruction.
+type Instruction struct {
+	Op  Op
+	Rd  uint8 // destination register
+	Rs1 uint8 // first source register
+	Rs2 uint8 // second source register
+	Imm int64 // immediate / displacement / branch target
+}
+
+// Validate checks the structural validity of the instruction: a defined
+// opcode, in-range register numbers, and zero values in operand fields
+// the instruction's form does not use. The last rule means the encoder is
+// canonical: there is exactly one valid encoding per instruction, which
+// the gadget scanner relies on to reject junk decodes.
+func (in Instruction) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return fmt.Errorf("isa: %s: register out of range (rd=%d rs1=%d rs2=%d)", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+	u := usage(in.Op.Form())
+	if !u.rd && in.Rd != 0 {
+		return fmt.Errorf("isa: %s: unused rd field must be zero", in.Op)
+	}
+	if !u.rs1 && in.Rs1 != 0 {
+		return fmt.Errorf("isa: %s: unused rs1 field must be zero", in.Op)
+	}
+	if !u.rs2 && in.Rs2 != 0 {
+		return fmt.Errorf("isa: %s: unused rs2 field must be zero", in.Op)
+	}
+	if !u.imm && in.Imm != 0 {
+		return fmt.Errorf("isa: %s: unused imm field must be zero", in.Op)
+	}
+	return nil
+}
+
+type fieldUsage struct{ rd, rs1, rs2, imm bool }
+
+func usage(f Form) fieldUsage {
+	switch f {
+	case FormNone:
+		return fieldUsage{}
+	case FormRdImm:
+		return fieldUsage{rd: true, imm: true}
+	case FormRdRs1:
+		return fieldUsage{rd: true, rs1: true}
+	case FormRdRs1Rs2:
+		return fieldUsage{rd: true, rs1: true, rs2: true}
+	case FormRdRs1Imm:
+		return fieldUsage{rd: true, rs1: true, imm: true}
+	case FormRdMem:
+		return fieldUsage{rd: true, rs1: true, imm: true}
+	case FormMemRs2:
+		return fieldUsage{rs1: true, rs2: true, imm: true}
+	case FormRs1:
+		return fieldUsage{rs1: true}
+	case FormRd:
+		return fieldUsage{rd: true}
+	case FormRs1Rs2:
+		return fieldUsage{rs1: true, rs2: true}
+	case FormRs1Imm:
+		return fieldUsage{rs1: true, imm: true}
+	case FormImm:
+		return fieldUsage{imm: true}
+	case FormMem:
+		return fieldUsage{rs1: true, imm: true}
+	}
+	return fieldUsage{}
+}
+
+// Encode writes the canonical 16-byte encoding of in into dst, which must
+// be at least InstrSize bytes. It returns an error if the instruction
+// fails Validate.
+//
+// Layout: byte 0 opcode; bytes 1-3 rd/rs1/rs2; bytes 4-11 imm (int64,
+// little-endian); bytes 12-15 reserved, must be zero.
+func (in Instruction) Encode(dst []byte) error {
+	if len(dst) < InstrSize {
+		return fmt.Errorf("isa: encode buffer too small: %d < %d", len(dst), InstrSize)
+	}
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	dst[0] = byte(in.Op)
+	dst[1] = in.Rd
+	dst[2] = in.Rs1
+	dst[3] = in.Rs2
+	binary.LittleEndian.PutUint64(dst[4:12], uint64(in.Imm))
+	dst[12], dst[13], dst[14], dst[15] = 0, 0, 0, 0
+	return nil
+}
+
+// Decode parses one instruction from src. It returns an error if src is
+// short or the bytes are not a canonical encoding.
+func Decode(src []byte) (Instruction, error) {
+	if len(src) < InstrSize {
+		return Instruction{}, fmt.Errorf("isa: decode needs %d bytes, have %d", InstrSize, len(src))
+	}
+	in := Instruction{
+		Op:  Op(src[0]),
+		Rd:  src[1],
+		Rs1: src[2],
+		Rs2: src[3],
+		Imm: int64(binary.LittleEndian.Uint64(src[4:12])),
+	}
+	if src[12] != 0 || src[13] != 0 || src[14] != 0 || src[15] != 0 {
+		return Instruction{}, fmt.Errorf("isa: reserved bytes nonzero at %s", in.Op)
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, err
+	}
+	return in, nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instruction) String() string {
+	r := func(i uint8) string {
+		switch i {
+		case RegSP:
+			return "sp"
+		case RegBP:
+			return "bp"
+		}
+		return fmt.Sprintf("r%d", i)
+	}
+	mem := func() string {
+		if in.Imm == 0 {
+			return fmt.Sprintf("[%s]", r(in.Rs1))
+		}
+		return fmt.Sprintf("[%s%+d]", r(in.Rs1), in.Imm)
+	}
+	if !in.Op.Valid() {
+		return fmt.Sprintf("invalid(%d)", uint8(in.Op))
+	}
+	switch in.Op.Form() {
+	case FormNone:
+		return in.Op.String()
+	case FormRdImm:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.Rd), in.Imm)
+	case FormRdRs1:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rd), r(in.Rs1))
+	case FormRdRs1Rs2:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rs1), r(in.Rs2))
+	case FormRdRs1Imm:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Rs1), in.Imm)
+	case FormRdMem:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rd), mem())
+	case FormMemRs2:
+		return fmt.Sprintf("%s %s, %s", in.Op, mem(), r(in.Rs2))
+	case FormRs1:
+		return fmt.Sprintf("%s %s", in.Op, r(in.Rs1))
+	case FormRd:
+		return fmt.Sprintf("%s %s", in.Op, r(in.Rd))
+	case FormRs1Rs2:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rs1), r(in.Rs2))
+	case FormRs1Imm:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.Rs1), in.Imm)
+	case FormImm:
+		return fmt.Sprintf("%s 0x%x", in.Op, uint64(in.Imm))
+	case FormMem:
+		return fmt.Sprintf("%s %s", in.Op, mem())
+	}
+	return in.Op.String()
+}

@@ -1,0 +1,128 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func linkedImage(t *testing.T) *Image {
+	t.Helper()
+	mod := MustAssemble(`
+	.entry main
+	f:	addi r1, r1, 1
+		ret
+	main:
+		movi r1, 0
+		call f
+		halt
+	.data
+	greeting: .asciz "hello"
+	table: .word 1, 2, 3
+	`)
+	img, err := mod.Link(0x40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	img := linkedImage(t)
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != img.Base || got.DataBase != img.DataBase || got.Entry != img.Entry {
+		t.Errorf("header mismatch: %+v vs %+v", got, img)
+	}
+	if !bytes.Equal(got.Code, img.Code) || !bytes.Equal(got.Data, img.Data) {
+		t.Error("sections mismatch")
+	}
+	if len(got.Symbols) != len(img.Symbols) {
+		t.Fatalf("symbol count %d vs %d", len(got.Symbols), len(img.Symbols))
+	}
+	for n, a := range img.Symbols {
+		if got.Symbols[n] != a {
+			t.Errorf("symbol %s = %#x, want %#x", n, got.Symbols[n], a)
+		}
+	}
+}
+
+func TestObjectDeterministicBytes(t *testing.T) {
+	img := linkedImage(t)
+	var a, b bytes.Buffer
+	if _, err := img.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialisation not deterministic")
+	}
+}
+
+func TestObjectRejectsCorruption(t *testing.T) {
+	img := linkedImage(t)
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"bad magic":     func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":   func(b []byte) []byte { b[4] = 99; return b },
+		"truncated":     func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":         func(b []byte) []byte { return nil },
+		"corrupt code":  func(b []byte) []byte { b[4+4+48] = 200; return b }, // invalid opcode
+		"ragged length": func(b []byte) []byte { b[4+4+24] = 7; return b },   // codeLen not multiple of 16
+	}
+	for name, mutate := range cases {
+		mut := mutate(append([]byte(nil), clean...))
+		if _, err := ReadImage(bytes.NewReader(mut)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Property: truncating the file at ANY byte boundary must yield an
+// error, never a panic or a silently short image.
+func TestQuickObjectTruncation(t *testing.T) {
+	img := linkedImage(t)
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	i := 0
+	f := func() bool {
+		i = (i + 13) % len(clean) // deterministic walk over cut points
+		_, err := ReadImage(bytes.NewReader(clean[:i]))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: len(clean)/13 + 2}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectRoundTripRunnable(t *testing.T) {
+	// The round-tripped image must still disassemble identically.
+	img := linkedImage(t)
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DisasmAll(got.Code, got.Base) != DisasmAll(img.Code, img.Base) {
+		t.Error("disassembly changed across round trip")
+	}
+}

@@ -1,0 +1,275 @@
+// Package mem implements the simulated machine's physical memory: a flat
+// little-endian byte array with per-page R/W/X permissions. Page
+// permissions are the substrate for the paper's DEP (Data Execution
+// Prevention) discussion: code pages are mapped R+X, stack and data pages
+// R+W, so an overflowed stack cannot be executed directly — which is
+// exactly why the attack must resort to ROP (reusing code already mapped
+// executable).
+package mem
+
+import "fmt"
+
+// PageSize is the granularity of memory protection.
+const PageSize = 4096
+
+// Perm is a bitmask of page permissions.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead  Perm = 1 << iota // page may be read as data
+	PermWrite                  // page may be written
+	PermExec                   // page may be fetched as instructions
+)
+
+// Common permission combinations.
+const (
+	PermRW  = PermRead | PermWrite
+	PermRX  = PermRead | PermExec
+	PermRWX = PermRead | PermWrite | PermExec
+)
+
+// String renders the permission as an "rwx"-style triple.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// FaultKind classifies a memory access fault.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultUnmapped FaultKind = iota // address outside memory or on an unmapped page
+	FaultRead                      // read of a non-readable page
+	FaultWrite                     // write to a non-writable page
+	FaultExec                      // instruction fetch from a non-executable page (DEP violation)
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultRead:
+		return "read-protect"
+	case FaultWrite:
+		return "write-protect"
+	case FaultExec:
+		return "exec-protect (DEP)"
+	}
+	return "unknown"
+}
+
+// Fault is the error returned on an illegal access.
+type Fault struct {
+	Kind FaultKind
+	Addr uint64
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %s fault at %#x", f.Kind, f.Addr)
+}
+
+// Memory is a flat simulated physical memory.
+type Memory struct {
+	data  []byte
+	perms []Perm // one per page
+
+	// OnWrite, when set, observes every successful user-mode store
+	// (watchpoints, overflow detectors). It runs after the bytes land.
+	// Loader-channel writes (LoadRaw) are not observed.
+	OnWrite func(addr uint64, n int)
+}
+
+// New creates a memory of the given size (rounded up to a whole number of
+// pages). All pages start unmapped (no permissions).
+func New(size uint64) *Memory {
+	size = (size + PageSize - 1) &^ (PageSize - 1)
+	return &Memory{
+		data:  make([]byte, size),
+		perms: make([]Perm, size/PageSize),
+	}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+
+// Protect sets the permissions of every page overlapping [addr, addr+n).
+func (m *Memory) Protect(addr, n uint64, p Perm) error {
+	if n == 0 {
+		return nil
+	}
+	end := addr + n
+	if end < addr || end > m.Size() {
+		return &Fault{Kind: FaultUnmapped, Addr: addr}
+	}
+	for pg := addr / PageSize; pg <= (end-1)/PageSize; pg++ {
+		m.perms[pg] = p
+	}
+	return nil
+}
+
+// PermAt returns the permissions of the page containing addr.
+func (m *Memory) PermAt(addr uint64) Perm {
+	if addr >= m.Size() {
+		return 0
+	}
+	return m.perms[addr/PageSize]
+}
+
+func (m *Memory) check(addr, n uint64, need Perm, kind FaultKind) error {
+	end := addr + n
+	if end < addr || end > m.Size() {
+		return &Fault{Kind: FaultUnmapped, Addr: addr}
+	}
+	for pg := addr / PageSize; pg <= (end-1)/PageSize; pg++ {
+		p := m.perms[pg]
+		if p == 0 {
+			return &Fault{Kind: FaultUnmapped, Addr: addr}
+		}
+		if p&need == 0 {
+			return &Fault{Kind: kind, Addr: addr}
+		}
+	}
+	return nil
+}
+
+// ReadByte loads one byte.
+func (m *Memory) Read8(addr uint64) (byte, error) {
+	if err := m.check(addr, 1, PermRead, FaultRead); err != nil {
+		return 0, err
+	}
+	return m.data[addr], nil
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint64, v byte) error {
+	if err := m.check(addr, 1, PermWrite, FaultWrite); err != nil {
+		return err
+	}
+	m.data[addr] = v
+	if m.OnWrite != nil {
+		m.OnWrite(addr, 1)
+	}
+	return nil
+}
+
+// Read64 loads a 64-bit little-endian word.
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	if err := m.check(addr, 8, PermRead, FaultRead); err != nil {
+		return 0, err
+	}
+	return m.raw64(addr), nil
+}
+
+// Write64 stores a 64-bit little-endian word.
+func (m *Memory) Write64(addr uint64, v uint64) error {
+	if err := m.check(addr, 8, PermWrite, FaultWrite); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		m.data[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+	if m.OnWrite != nil {
+		m.OnWrite(addr, 8)
+	}
+	return nil
+}
+
+// Fetch reads n bytes for instruction fetch; the page must be executable.
+func (m *Memory) Fetch(addr, n uint64) ([]byte, error) {
+	if err := m.check(addr, n, PermExec, FaultExec); err != nil {
+		return nil, err
+	}
+	return m.data[addr : addr+n], nil
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr, n uint64) ([]byte, error) {
+	if err := m.check(addr, n, PermRead, FaultRead); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:addr+n])
+	return out, nil
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if err := m.check(addr, uint64(len(b)), PermWrite, FaultWrite); err != nil {
+		return err
+	}
+	copy(m.data[addr:], b)
+	if m.OnWrite != nil {
+		m.OnWrite(addr, len(b))
+	}
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string of at most max bytes.
+func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b, err := m.Read8(addr + uint64(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", fmt.Errorf("mem: unterminated string at %#x", addr)
+}
+
+// LoadRaw writes bytes bypassing permission checks. It is the loader's
+// privileged channel ("kernel mode"): used to map images and build the
+// initial stack before user-mode execution begins.
+func (m *Memory) LoadRaw(addr uint64, b []byte) error {
+	end := addr + uint64(len(b))
+	if end < addr || end > m.Size() {
+		return &Fault{Kind: FaultUnmapped, Addr: addr}
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// PeekRaw reads bytes bypassing permission checks (debugger channel; GDB
+// in the paper's methodology).
+func (m *Memory) PeekRaw(addr, n uint64) ([]byte, error) {
+	end := addr + n
+	if end < addr || end > m.Size() {
+		return nil, &Fault{Kind: FaultUnmapped, Addr: addr}
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:end])
+	return out, nil
+}
+
+// Peek64 reads a word bypassing permission checks.
+func (m *Memory) Peek64(addr uint64) (uint64, error) {
+	if addr+8 > m.Size() || addr+8 < addr {
+		return 0, &Fault{Kind: FaultUnmapped, Addr: addr}
+	}
+	return m.raw64(addr), nil
+}
+
+func (m *Memory) raw64(addr uint64) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(m.data[addr+uint64(i)]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,220 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newMapped(t *testing.T, size uint64, p Perm) *Memory {
+	t.Helper()
+	m := New(size)
+	if err := m.Protect(0, size, p); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := newMapped(t, 64<<10, PermRW)
+	if err := m.Write64(128, 0xdeadbeefcafe); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read64(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeefcafe {
+		t.Errorf("got %#x", v)
+	}
+	if err := m.Write8(7, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Read8(7)
+	if err != nil || b != 0xAB {
+		t.Errorf("byte = %#x, %v", b, err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := newMapped(t, PageSize, PermRW)
+	if err := m.Write64(0, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	b0, _ := m.Read8(0)
+	b7, _ := m.Read8(7)
+	if b0 != 0x08 || b7 != 0x01 {
+		t.Errorf("layout not little-endian: b0=%#x b7=%#x", b0, b7)
+	}
+}
+
+// Property: Write64 then Read64 at any in-range address returns the value.
+func TestQuickWordRoundTrip(t *testing.T) {
+	m := newMapped(t, 1<<20, PermRW)
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		addr := uint64(rng.Intn(1<<20 - 8))
+		v := rng.Uint64()
+		if err := m.Write64(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Read64(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultKinds(t *testing.T) {
+	m := New(2 * PageSize)
+	// Unmapped page.
+	if _, err := m.Read64(0); faultKind(t, err) != FaultUnmapped {
+		t.Errorf("unmapped read: %v", err)
+	}
+	// Read-only page rejects writes.
+	if err := m.Protect(0, PageSize, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write64(0, 1); faultKind(t, err) != FaultWrite {
+		t.Errorf("write to r/o page: %v", err)
+	}
+	// Write-only (no read bit) rejects reads.
+	if err := m.Protect(PageSize, PageSize, PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read64(PageSize); faultKind(t, err) != FaultRead {
+		t.Errorf("read of non-readable page: %v", err)
+	}
+	// DEP: fetch from non-exec page.
+	if _, err := m.Fetch(0, 16); faultKind(t, err) != FaultExec {
+		t.Errorf("fetch from NX page: %v", err)
+	}
+	// Out of range entirely.
+	if _, err := m.Read64(1 << 40); faultKind(t, err) != FaultUnmapped {
+		t.Errorf("far out-of-range: %v", err)
+	}
+	// Overflowing range.
+	if err := m.Protect(1<<40, 8, PermRW); err == nil {
+		t.Error("Protect accepted out-of-range region")
+	}
+}
+
+func faultKind(t *testing.T, err error) FaultKind {
+	t.Helper()
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error %v is not a *Fault", err)
+	}
+	return f.Kind
+}
+
+func TestCrossPagePermissionCheck(t *testing.T) {
+	m := New(2 * PageSize)
+	if err := m.Protect(0, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// Word straddling a mapped and an unmapped page must fault.
+	if err := m.Write64(PageSize-4, 1); err == nil {
+		t.Error("cross-page write into unmapped page succeeded")
+	}
+}
+
+func TestFetchRequiresExec(t *testing.T) {
+	m := New(2 * PageSize)
+	if err := m.Protect(0, PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fetch(0, 16); err != nil {
+		t.Errorf("fetch from RX page failed: %v", err)
+	}
+	// RX page rejects writes (code is immutable, W^X).
+	if err := m.Write64(0, 1); err == nil {
+		t.Error("write to RX page succeeded")
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	m := newMapped(t, PageSize, PermRW)
+	if err := m.WriteBytes(10, []byte("hello\x00")); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.ReadCString(10, 32)
+	if err != nil || s != "hello" {
+		t.Errorf("ReadCString = %q, %v", s, err)
+	}
+	if _, err := m.ReadCString(10, 3); err == nil {
+		t.Error("unterminated string within limit accepted")
+	}
+}
+
+func TestLoadRawBypassesPerms(t *testing.T) {
+	m := New(PageSize) // fully unmapped
+	if err := m.LoadRaw(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.PeekRaw(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1 || b[2] != 3 {
+		t.Errorf("PeekRaw = %v", b)
+	}
+	if v, err := m.Peek64(0); err != nil || v&0xffffff != 0x030201 {
+		t.Errorf("Peek64 = %#x, %v", v, err)
+	}
+}
+
+func TestWriteBytesAndReadBytes(t *testing.T) {
+	m := newMapped(t, PageSize, PermRW)
+	data := []byte{9, 8, 7, 6}
+	if err := m.WriteBytes(100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("ReadBytes = %v", got)
+		}
+	}
+	// Mutating the returned slice must not alias memory.
+	got[0] = 0xFF
+	b, _ := m.Read8(100)
+	if b != 9 {
+		t.Error("ReadBytes aliases internal memory")
+	}
+	if err := m.WriteBytes(100, nil); err != nil {
+		t.Errorf("empty WriteBytes: %v", err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if PermRWX.String() != "rwx" || PermRX.String() != "r-x" || Perm(0).String() != "---" {
+		t.Errorf("perm strings: %s %s %s", PermRWX, PermRX, Perm(0))
+	}
+}
+
+func TestSizeRoundsToPages(t *testing.T) {
+	m := New(100)
+	if m.Size() != PageSize {
+		t.Errorf("size = %d, want %d", m.Size(), PageSize)
+	}
+}
+
+func TestPermAt(t *testing.T) {
+	m := New(2 * PageSize)
+	_ = m.Protect(PageSize, PageSize, PermRX)
+	if m.PermAt(0) != 0 {
+		t.Error("unmapped page has perms")
+	}
+	if m.PermAt(PageSize+5) != PermRX {
+		t.Error("mapped page perms wrong")
+	}
+	if m.PermAt(1<<30) != 0 {
+		t.Error("out-of-range PermAt should be 0")
+	}
+}

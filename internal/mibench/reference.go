@@ -1,0 +1,216 @@
+package mibench
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// The reference implementations below mirror the assembly kernels
+// operation-for-operation (same 64-bit arithmetic, same iteration
+// order), so the workloads' printed checksums are verifiable in tests.
+
+func refIsqrt(v uint64) uint64 {
+	if v < 2 {
+		return v
+	}
+	x := v
+	y := v/2 + 1
+	for y < x {
+		x = y
+		y = (x + v/x) / 2
+	}
+	return x
+}
+
+func refGCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func refMath(n int) uint64 {
+	var sum uint64
+	for i := uint64(1); i <= uint64(n); i++ {
+		v := (i * 2654435761) & 0xffffffff
+		sum += refIsqrt(v)
+		sum += refGCD((v&0xffff)+1, 60000)
+	}
+	return sum
+}
+
+func refBitcount(ops int) uint64 {
+	x := uint64(0x2545F4914F6CDD1D)
+	var count uint64
+	for i := 0; i < ops; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		count += uint64(bits.OnesCount64(x))
+	}
+	return count
+}
+
+func refSHA1(blocks int) uint64 {
+	a, b, c, d, e := uint64(0x67452301), uint64(0xEFCDAB89), uint64(0x98BADCFE), uint64(0x10325476), uint64(0xC3D2E1F0)
+	var w [16]uint64
+	for i := uint64(0); i < 16; i++ {
+		w[i] = (i * 0x9E3779B9) ^ 0x5A827999
+	}
+	for blk := 0; blk < blocks; blk++ {
+		for r := uint64(0); r < 80; r++ {
+			idx := r & 15
+			wv := w[idx]
+			w[idx] = bits.RotateLeft64(wv^a^e, 1)
+			var f, k uint64
+			switch {
+			case r < 20:
+				f = d ^ (b & (c ^ d))
+				k = 0x5A827999
+			case r < 40:
+				f = b ^ c ^ d
+				k = 0x6ED9EBA1
+			case r < 60:
+				f = (b & c) | (b & d) | (c & d)
+				k = 0x8F1BBCDC
+			default:
+				f = b ^ c ^ d
+				k = 0xCA62C1D6
+			}
+			t := bits.RotateLeft64(a, 5) + f + e + k + wv
+			e, d = d, c
+			c = bits.RotateLeft64(b, 30)
+			b, a = a, t
+		}
+	}
+	return a + b + c + d + e
+}
+
+func refSHA2(blocks int) uint64 {
+	a, b, c, d, e := uint64(0x6A09E667), uint64(0xBB67AE85), uint64(0x3C6EF372), uint64(0xA54FF53A), uint64(0x510E527F)
+	var w [16]uint64
+	for i := uint64(0); i < 16; i++ {
+		w[i] = (i * 0xB5C0FBCF) ^ 0x71374491
+	}
+	rotr := func(x uint64, k int) uint64 { return bits.RotateLeft64(x, -k) }
+	for blk := 0; blk < blocks; blk++ {
+		for r := uint64(0); r < 64; r++ {
+			idx := r & 15
+			wv := w[idx]
+			wnew := rotr(wv, 7) ^ rotr(wv, 19) ^ a
+			w[idx] = wnew
+			var f, k uint64
+			if r < 32 {
+				f = d ^ (b & (c ^ d))
+				k = 0x428A2F98D728AE22
+			} else {
+				f = (b & c) | (b & d) | (c & d)
+				k = 0x7137449123EF65CD
+			}
+			t := rotr(a, 14) + f + e + k + wnew
+			e, d = d, c
+			c = rotr(b, 9)
+			b, a = a, t
+		}
+	}
+	return a + b + c + d + e
+}
+
+func refQsort(n int) uint64 {
+	seed := uint64(88172645463325252)
+	arr := make([]uint64, n)
+	for i := range arr {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		arr[i] = (seed >> 16) & 0xffffff
+	}
+	sort.Slice(arr, func(i, j int) bool { return arr[i] < arr[j] })
+	var sum, prev uint64
+	for i, v := range arr {
+		if v < prev {
+			sum += 999999999
+		}
+		prev = v
+		sum += uint64(i+1) * v
+	}
+	return sum
+}
+
+func refCRC32(n int) uint64 {
+	crc := uint64(0xFFFFFFFF)
+	lcg := uint64(123456789)
+	for i := 0; i < n; i++ {
+		lcg = lcg*1103515245 + 12345
+		b := (lcg >> 33) & 255
+		crc ^= b
+		for k := 0; k < 8; k++ {
+			lsb := crc & 1
+			crc >>= 1
+			if lsb != 0 {
+				crc ^= 0xEDB88320
+			}
+		}
+	}
+	return crc
+}
+
+func refDijkstra(passes int) uint64 {
+	const n = 16
+	var adj [n * n]uint64
+	for idx := uint64(0); idx < n*n; idx++ {
+		adj[idx] = ((idx * 2654435761 >> 20) & 255) + 1
+	}
+	var acc uint64
+	for p := 0; p < passes; p++ {
+		var dist [n]uint64
+		var vis [n]bool
+		for i := range dist {
+			dist[i] = 1000000000
+		}
+		dist[0] = 0
+		for iter := 0; iter < n; iter++ {
+			u, best := n, uint64(2000000000)
+			for v := 0; v < n; v++ {
+				if !vis[v] && dist[v] < best {
+					best = dist[v]
+					u = v
+				}
+			}
+			if u == n {
+				break
+			}
+			vis[u] = true
+			for v := 0; v < n; v++ {
+				alt := best + adj[u*n+v]
+				if alt < dist[v] {
+					dist[v] = alt
+				}
+			}
+		}
+		for _, dv := range dist {
+			acc += dv
+		}
+	}
+	return acc
+}
+
+func refStringSearch(n int) uint64 {
+	lcg := uint64(42)
+	text := make([]byte, n)
+	for i := range text {
+		lcg = lcg*1103515245 + 12345
+		text[i] = byte('a' + (lcg>>16)%4)
+	}
+	pat := []byte("abac")
+	var count uint64
+	for pos := 0; pos <= n-4; pos++ {
+		match := true
+		for k := 0; k < 4; k++ {
+			if text[pos+k] != pat[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,90 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CVResult summarises a k-fold cross-validation.
+type CVResult struct {
+	FoldAccuracies []float64
+	Mean           float64
+	Std            float64
+}
+
+// String renders "mean ± std (k folds)".
+func (r CVResult) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (%d folds)", r.Mean, r.Std, len(r.FoldAccuracies))
+}
+
+// CrossValidate runs stratified k-fold cross-validation: the dataset is
+// split into k class-balanced folds; each fold serves once as the test
+// partition while a fresh classifier (from mk) trains on the rest, with
+// scaling fit on the training side only.
+func CrossValidate(mk func() Classifier, d Dataset, k int, seed int64) (CVResult, error) {
+	if err := d.Validate(); err != nil {
+		return CVResult{}, err
+	}
+	if k < 2 {
+		return CVResult{}, fmt.Errorf("ml: need k >= 2 folds, got %d", k)
+	}
+	if d.Len() < k {
+		return CVResult{}, fmt.Errorf("ml: %d rows cannot fill %d folds", d.Len(), k)
+	}
+
+	// Stratified fold assignment: shuffle per class, deal round-robin.
+	rng := rand.New(rand.NewSource(seed))
+	fold := make([]int, d.Len())
+	byClass := map[int][]int{}
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			if classes[j] < classes[i] {
+				classes[i], classes[j] = classes[j], classes[i]
+			}
+		}
+	}
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for n, i := range idx {
+			fold[i] = n % k
+		}
+	}
+
+	res := CVResult{}
+	for f := 0; f < k; f++ {
+		var train, test Dataset
+		for i := range d.X {
+			if fold[i] == f {
+				test.X = append(test.X, d.X[i])
+				test.Y = append(test.Y, d.Y[i])
+			} else {
+				train.X = append(train.X, d.X[i])
+				train.Y = append(train.Y, d.Y[i])
+			}
+		}
+		clf := mk()
+		var sc Scaler
+		if err := clf.Fit(sc.FitTransform(train.X), train.Y); err != nil {
+			return CVResult{}, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		res.FoldAccuracies = append(res.FoldAccuracies, EvaluateAccuracy(clf, sc.Transform(test.X), test.Y))
+	}
+	for _, a := range res.FoldAccuracies {
+		res.Mean += a
+	}
+	res.Mean /= float64(k)
+	for _, a := range res.FoldAccuracies {
+		res.Std += (a - res.Mean) * (a - res.Mean)
+	}
+	res.Std = math.Sqrt(res.Std / float64(k))
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Classifier is a binary classifier over float feature vectors
+// (labels 0 and 1).
+type Classifier interface {
+	// Fit trains on the labelled matrix, replacing any previous state.
+	Fit(X [][]float64, y []int) error
+	// Predict returns the predicted label for one vector.
+	Predict(x []float64) int
+	// Name identifies the classifier family.
+	Name() string
+}
+
+// Scorer is a classifier that also exposes a continuous decision score
+// (larger = more attack-like), enabling threshold-free metrics like AUC.
+// All four families in this package implement it.
+type Scorer interface {
+	Classifier
+	// Score returns the decision value for one vector.
+	Score(x []float64) float64
+}
+
+// LogisticRegression is a binary logistic-regression classifier trained
+// with mini-batch SGD and L2 regularisation (paper ref [4], [5]: "LR").
+type LogisticRegression struct {
+	LR     float64 // learning rate
+	Epochs int
+	L2     float64
+	Seed   int64
+
+	w []float64
+	b float64
+}
+
+// NewLogReg returns logistic regression with the defaults used by the
+// experiments.
+func NewLogReg(seed int64) *LogisticRegression {
+	return &LogisticRegression{LR: 0.1, Epochs: 80, L2: 1e-4, Seed: seed}
+}
+
+// Name implements Classifier.
+func (m *LogisticRegression) Name() string { return "lr" }
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Fit implements Classifier.
+func (m *LogisticRegression) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	dim := len(X[0])
+	m.w = make([]float64, dim)
+	m.b = 0
+	rng := rand.New(rand.NewSource(m.Seed))
+	idx := rng.Perm(len(X))
+	for ep := 0; ep < m.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			z := m.b
+			for j, v := range X[i] {
+				z += m.w[j] * v
+			}
+			g := sigmoid(z) - float64(y[i])
+			for j, v := range X[i] {
+				m.w[j] -= m.LR * (g*v + m.L2*m.w[j])
+			}
+			m.b -= m.LR * g
+		}
+	}
+	return nil
+}
+
+// Score implements Scorer: the attack-class probability.
+func (m *LogisticRegression) Score(x []float64) float64 {
+	z := m.b
+	for j, v := range x {
+		if j < len(m.w) {
+			z += m.w[j] * v
+		}
+	}
+	return sigmoid(z)
+}
+
+// Predict implements Classifier.
+func (m *LogisticRegression) Predict(x []float64) int {
+	if m.Score(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// LinearSVM is a soft-margin linear support vector machine trained with
+// SGD on the hinge loss (Pegasos-style), the paper's "SVM classifier
+// with a linear kernel".
+type LinearSVM struct {
+	Lambda float64 // regularisation strength
+	Epochs int
+	Seed   int64
+
+	w []float64
+	b float64
+}
+
+// NewSVM returns a linear SVM with the defaults used by the experiments.
+func NewSVM(seed int64) *LinearSVM {
+	return &LinearSVM{Lambda: 1e-3, Epochs: 80, Seed: seed}
+}
+
+// Name implements Classifier.
+func (m *LinearSVM) Name() string { return "svm" }
+
+// Fit implements Classifier.
+func (m *LinearSVM) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	dim := len(X[0])
+	m.w = make([]float64, dim)
+	m.b = 0
+	rng := rand.New(rand.NewSource(m.Seed))
+	idx := rng.Perm(len(X))
+	// Pegasos schedule with a burn-in offset: the textbook 1/(lambda*t)
+	// steps are enormous for small t and leave the bias oscillating on
+	// nearly-separable data with outliers.
+	t := len(X) + 1
+	for ep := 0; ep < m.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			eta := 1 / (m.Lambda * float64(t))
+			if eta > 1 {
+				eta = 1
+			}
+			t++
+			yi := float64(2*y[i] - 1) // {-1, +1}
+			z := m.b
+			for j, v := range X[i] {
+				z += m.w[j] * v
+			}
+			if yi*z < 1 {
+				for j, v := range X[i] {
+					m.w[j] = (1-eta*m.Lambda)*m.w[j] + eta*yi*v
+				}
+				m.b += eta * yi
+			} else {
+				for j := range m.w {
+					m.w[j] *= 1 - eta*m.Lambda
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Score implements Scorer: the signed margin.
+func (m *LinearSVM) Score(x []float64) float64 {
+	z := m.b
+	for j, v := range x {
+		if j < len(m.w) {
+			z += m.w[j] * v
+		}
+	}
+	return z
+}
+
+// Predict implements Classifier.
+func (m *LinearSVM) Predict(x []float64) int {
+	if m.Score(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func checkXY(X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	dim := len(X[0])
+	if dim == 0 {
+		return fmt.Errorf("ml: zero-dimensional features")
+	}
+	for i, row := range X {
+		if len(row) != dim {
+			return fmt.Errorf("ml: ragged row %d", i)
+		}
+	}
+	for _, v := range y {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("ml: binary classifier got label %d", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a fully-connected feed-forward network with ReLU hidden
+// activations and a sigmoid output, trained by backpropagation with
+// mini-batch SGD and momentum. The paper's two neural detectors map to
+// two configurations: the sklearn-style "MLP" ("3-layer network-based
+// classifier") and the TensorFlow-style "NN" ("6-layers using 'Relu'
+// activation").
+type MLP struct {
+	Hidden   []int // hidden layer widths
+	LR       float64
+	Momentum float64
+	Epochs   int
+	Batch    int
+	Seed     int64
+
+	label   string
+	weights [][][]float64 // [layer][out][in]
+	biases  [][]float64   // [layer][out]
+	velW    [][][]float64
+	velB    [][]float64
+}
+
+// NewMLP returns the 3-layer (input, one hidden, output) sklearn-style
+// detector.
+func NewMLP(seed int64) *MLP {
+	return &MLP{Hidden: []int{24}, LR: 0.02, Momentum: 0.9, Epochs: 60, Batch: 16, Seed: seed, label: "mlp"}
+}
+
+// NewDeepNN returns the 6-layer TensorFlow-style detector (input, four
+// hidden ReLU layers, output).
+func NewDeepNN(seed int64) *MLP {
+	return &MLP{Hidden: []int{32, 24, 16, 8}, LR: 0.01, Momentum: 0.9, Epochs: 80, Batch: 16, Seed: seed, label: "nn"}
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string {
+	if m.label == "" {
+		return "mlp"
+	}
+	return m.label
+}
+
+// Fit implements Classifier.
+func (m *MLP) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	dims := append([]int{len(X[0])}, m.Hidden...)
+	dims = append(dims, 1)
+	L := len(dims) - 1
+	m.weights = make([][][]float64, L)
+	m.biases = make([][]float64, L)
+	m.velW = make([][][]float64, L)
+	m.velB = make([][]float64, L)
+	for l := 0; l < L; l++ {
+		in, out := dims[l], dims[l+1]
+		scale := math.Sqrt(2 / float64(in)) // He init for ReLU
+		m.weights[l] = make([][]float64, out)
+		m.velW[l] = make([][]float64, out)
+		m.biases[l] = make([]float64, out)
+		m.velB[l] = make([]float64, out)
+		for o := 0; o < out; o++ {
+			m.weights[l][o] = make([]float64, in)
+			m.velW[l][o] = make([]float64, in)
+			for i := 0; i < in; i++ {
+				m.weights[l][o][i] = rng.NormFloat64() * scale
+			}
+		}
+	}
+
+	batch := m.Batch
+	if batch <= 0 {
+		batch = 16
+	}
+	idx := rng.Perm(len(X))
+	acts := make([][]float64, L+1) // activations per layer
+	for ep := 0; ep < m.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += batch {
+			end := start + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			// Gradient accumulators.
+			gradW := make([][][]float64, L)
+			gradB := make([][]float64, L)
+			for l := 0; l < L; l++ {
+				gradW[l] = make([][]float64, len(m.weights[l]))
+				gradB[l] = make([]float64, len(m.biases[l]))
+				for o := range m.weights[l] {
+					gradW[l][o] = make([]float64, len(m.weights[l][o]))
+				}
+			}
+			for _, i := range idx[start:end] {
+				m.forward(X[i], acts)
+				// Output delta (sigmoid + cross-entropy): p - y.
+				delta := []float64{acts[L][0] - float64(y[i])}
+				for l := L - 1; l >= 0; l-- {
+					next := make([]float64, len(acts[l]))
+					for o, d := range delta {
+						gradB[l][o] += d
+						for j, a := range acts[l] {
+							gradW[l][o][j] += d * a
+							next[j] += d * m.weights[l][o][j]
+						}
+					}
+					if l > 0 {
+						// ReLU derivative on the pre-layer activation.
+						for j := range next {
+							if acts[l][j] <= 0 {
+								next[j] = 0
+							}
+						}
+					}
+					delta = next
+				}
+			}
+			n := float64(end - start)
+			for l := 0; l < L; l++ {
+				for o := range m.weights[l] {
+					for j := range m.weights[l][o] {
+						m.velW[l][o][j] = m.Momentum*m.velW[l][o][j] - m.LR*gradW[l][o][j]/n
+						m.weights[l][o][j] += m.velW[l][o][j]
+					}
+					m.velB[l][o] = m.Momentum*m.velB[l][o] - m.LR*gradB[l][o]/n
+					m.biases[l][o] += m.velB[l][o]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// forward fills acts[0..L] for input x; acts[L] is the sigmoid output.
+func (m *MLP) forward(x []float64, acts [][]float64) {
+	L := len(m.weights)
+	acts[0] = x
+	for l := 0; l < L; l++ {
+		out := make([]float64, len(m.weights[l]))
+		for o, ws := range m.weights[l] {
+			z := m.biases[l][o]
+			for j, w := range ws {
+				z += w * acts[l][j]
+			}
+			if l == L-1 {
+				out[o] = sigmoid(z)
+			} else if z > 0 {
+				out[o] = z
+			}
+		}
+		acts[l+1] = out
+	}
+}
+
+// Score implements Scorer: the sigmoid output (attack probability).
+func (m *MLP) Score(x []float64) float64 {
+	if len(m.weights) == 0 {
+		return 0
+	}
+	acts := make([][]float64, len(m.weights)+1)
+	m.forward(x, acts)
+	return acts[len(m.weights)][0]
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) int {
+	if m.Score(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// ByName constructs one of the paper's four classifier families:
+// "mlp", "nn", "lr", "svm".
+func ByName(name string, seed int64) (Classifier, bool) {
+	switch name {
+	case "mlp":
+		return NewMLP(seed), true
+	case "nn":
+		return NewDeepNN(seed), true
+	case "lr":
+		return NewLogReg(seed), true
+	case "svm":
+		return NewSVM(seed), true
+	}
+	return nil, false
+}
+
+// ClassifierNames lists the supported families in the paper's order.
+func ClassifierNames() []string { return []string{"mlp", "nn", "lr", "svm"} }

@@ -1,0 +1,67 @@
+package ml
+
+import "math"
+
+// Scaler standardises features to zero mean and unit variance (fit on
+// the training partition, applied everywhere — the usual HPC-pipeline
+// preprocessing).
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// Fit computes per-feature mean and standard deviation.
+func (s *Scaler) Fit(X [][]float64) {
+	if len(X) == 0 {
+		s.Mean, s.Std = nil, nil
+		return
+	}
+	dim := len(X[0])
+	s.Mean = make([]float64, dim)
+	s.Std = make([]float64, dim)
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1 // constant feature: pass through centred
+		}
+	}
+}
+
+// TransformRow standardises one vector (allocating a copy).
+func (s *Scaler) TransformRow(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// Transform standardises a whole matrix (allocating copies).
+func (s *Scaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.TransformRow(row)
+	}
+	return out
+}
+
+// FitTransform fits on X and returns the standardised copy.
+func (s *Scaler) FitTransform(X [][]float64) [][]float64 {
+	s.Fit(X)
+	return s.Transform(X)
+}

@@ -1,0 +1,171 @@
+// Package perturb implements the paper's §II-E defense-aware dynamic
+// perturbation generator (Algorithm 2): a parameterised routine of
+// conditional blocks that CLFLUSH attack-owned data and MFENCE between
+// operations, contaminating the cache-miss, branch and instruction-count
+// HPCs the HID is trained on. Each parameter set ("variant") produces a
+// distinct HPC signature; Mutate derives new variants when the HID
+// catches the current one.
+package perturb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Params is one perturbation variant — the knobs of Algorithm 2.
+type Params struct {
+	// A and B are the initial values of the paper's `a` and `b` loop
+	// variables (Algorithm 2 line 2: a=11, b=6).
+	A int64
+	B int64
+	// IncA and IncB are the per-iteration increments (lines 7 and 12:
+	// +50 and +10).
+	IncA int64
+	IncB int64
+	// Loops is the outer iteration count (line 3: 10).
+	Loops int64
+	// Blocks repeats the conditional flush blocks ("more loops can be
+	// added here", line 16).
+	Blocks int
+	// Delay inserts a busy-wait of this many iterations between outer
+	// loop iterations, dispersing the perturbation in time so the HPC
+	// deltas can also *shrink* per sampling interval (§II-E's closing
+	// remark).
+	Delay int64
+}
+
+// Paper returns the variant exactly as written in Algorithm 2.
+func Paper() Params {
+	return Params{A: 11, B: 6, IncA: 50, IncB: 10, Loops: 10, Blocks: 1}
+}
+
+// Scaled returns the paper variant with the outer loop scaled by k —
+// the "intensity" used by the offline-HID schedule.
+func Scaled(k int64) Params {
+	p := Paper()
+	if k < 1 {
+		k = 1
+	}
+	p.Loops = 10 * k
+	return p
+}
+
+// Validate reports whether the parameters produce a terminating,
+// assemblable routine.
+func (p Params) Validate() error {
+	if p.Loops <= 0 {
+		return fmt.Errorf("perturb: Loops must be positive, got %d", p.Loops)
+	}
+	if p.Blocks <= 0 {
+		return fmt.Errorf("perturb: Blocks must be positive, got %d", p.Blocks)
+	}
+	if p.Loops > 1<<16 || p.Blocks > 64 || p.Delay < 0 || p.Delay > 1<<16 {
+		return fmt.Errorf("perturb: parameters out of range: %+v", p)
+	}
+	return nil
+}
+
+// Mutate derives a new variant from p using the supplied RNG. The
+// mutation keeps the routine's shape but moves every parameter, so the
+// generated HPC pattern shifts away from what an online HID has learned.
+func (p Params) Mutate(rng *rand.Rand) Params {
+	q := p
+	q.A = 1 + rng.Int63n(64)
+	q.B = 1 + rng.Int63n(32)
+	q.IncA = 10 + rng.Int63n(90)
+	q.IncB = 5 + rng.Int63n(45)
+	q.Loops = 4 + rng.Int63n(28)
+	q.Blocks = 1 + rng.Intn(4)
+	if rng.Intn(2) == 0 {
+		q.Delay = rng.Int63n(200)
+	} else {
+		q.Delay = 0
+	}
+	return q
+}
+
+// String identifies the variant compactly (for experiment logs).
+func (p Params) String() string {
+	return fmt.Sprintf("perturb{a=%d b=%d +%d/+%d loops=%d blocks=%d delay=%d}",
+		p.A, p.B, p.IncA, p.IncB, p.Loops, p.Blocks, p.Delay)
+}
+
+// Asm emits the `perturb:` routine plus its data slots. The routine
+// clobbers r3..r8 and follows Algorithm 2: for i in [0,Loops), each
+// block tests its loop variable against i, flushes the variable's memory
+// slot, fences, and advances the variable (the B-style blocks flush
+// twice, once after +IncB and once after reverting, per lines 9-15).
+//
+// The caller assembles this into the attack binary and `call perturb`s
+// it from the leak loop, so the perturbation contaminates the same
+// process trace the HID samples.
+func (p Params) Asm() string {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "perturb:\n")
+	fmt.Fprintf(&b, "\tmovi r3, 0\n")       // i
+	fmt.Fprintf(&b, "\tmovi r4, %d\n", p.A) // a
+	fmt.Fprintf(&b, "\tmovi r5, %d\n", p.B) // b
+	fmt.Fprintf(&b, "pt_loop:\n")
+	fmt.Fprintf(&b, "\tcmpi r3, %d\n", p.Loops)
+	fmt.Fprintf(&b, "\tjae pt_done\n")
+	for blk := 0; blk < p.Blocks; blk++ {
+		// if (i < a) { clflush(&a); mfence; a += IncA }
+		fmt.Fprintf(&b, "\tcmp r3, r4\n")
+		fmt.Fprintf(&b, "\tjae pt_skip_a_%d\n", blk)
+		fmt.Fprintf(&b, "\tmovi r6, pt_var_a\n")
+		fmt.Fprintf(&b, "\tstore [r6], r4\n")
+		fmt.Fprintf(&b, "\tclflush [r6]\n")
+		fmt.Fprintf(&b, "\tmfence\n")
+		fmt.Fprintf(&b, "\taddi r4, r4, %d\n", p.IncA)
+		fmt.Fprintf(&b, "pt_skip_a_%d:\n", blk)
+		// if (i < b) { clflush(&b); mfence; b += IncB; clflush(&b);
+		//              mfence; b -= IncB }
+		fmt.Fprintf(&b, "\tcmp r3, r5\n")
+		fmt.Fprintf(&b, "\tjae pt_skip_b_%d\n", blk)
+		fmt.Fprintf(&b, "\tmovi r7, pt_var_b\n")
+		fmt.Fprintf(&b, "\tstore [r7], r5\n")
+		fmt.Fprintf(&b, "\tclflush [r7]\n")
+		fmt.Fprintf(&b, "\tmfence\n")
+		fmt.Fprintf(&b, "\taddi r5, r5, %d\n", p.IncB)
+		fmt.Fprintf(&b, "\tstore [r7], r5\n")
+		fmt.Fprintf(&b, "\tclflush [r7]\n")
+		fmt.Fprintf(&b, "\tmfence\n")
+		fmt.Fprintf(&b, "\tsubi r5, r5, %d\n", p.IncB)
+		fmt.Fprintf(&b, "pt_skip_b_%d:\n", blk)
+	}
+	if p.Delay > 0 {
+		// Dispersion delay: spread the flush bursts across sampling
+		// intervals.
+		fmt.Fprintf(&b, "\tmovi r8, %d\n", p.Delay)
+		fmt.Fprintf(&b, "pt_delay:\n")
+		fmt.Fprintf(&b, "\tsubi r8, r8, 1\n")
+		fmt.Fprintf(&b, "\tcmpi r8, 0\n")
+		fmt.Fprintf(&b, "\tjne pt_delay\n")
+	}
+	fmt.Fprintf(&b, "\taddi r3, r3, 1\n")
+	fmt.Fprintf(&b, "\tjmp pt_loop\n")
+	fmt.Fprintf(&b, "pt_done:\n")
+	fmt.Fprintf(&b, "\tret\n")
+	return b.String()
+}
+
+// DataAsm emits the data slots the routine flushes. Assemble it into the
+// attack binary's data section exactly once.
+func DataAsm() string {
+	return `
+.align 64
+pt_var_a: .word 0
+.align 64
+pt_var_b: .word 0
+`
+}
+
+// None is a no-op stand-in so the same codegen path builds unperturbed
+// Spectre binaries ("perturb:" just returns).
+func None() string {
+	return "perturb:\n\tret\n"
+}

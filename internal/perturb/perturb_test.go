@@ -1,0 +1,149 @@
+package perturb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestPaperParameters(t *testing.T) {
+	p := Paper()
+	// Algorithm 2 line 2: a=11, b=6; lines 7/12: +50/+10; line 3: 10
+	// iterations.
+	if p.A != 11 || p.B != 6 || p.IncA != 50 || p.IncB != 10 || p.Loops != 10 {
+		t.Errorf("paper variant = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsmAssemblesAndRuns(t *testing.T) {
+	src := ".entry main\nmain:\n\tcall perturb\n\thalt\n" + Paper().Asm() + "\n.data\n" + DataAsm()
+	mod, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("perturb asm does not assemble: %v", err)
+	}
+	if mod.NumInstructions() < 20 {
+		t.Error("perturb routine suspiciously small")
+	}
+}
+
+func TestAsmContainsAlgorithmStructure(t *testing.T) {
+	asm := Paper().Asm()
+	for _, want := range []string{"clflush", "mfence", "perturb:", "pt_loop", "ret"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("asm missing %q", want)
+		}
+	}
+	// clflush count: the A-block flushes once, the B-block twice, per
+	// Algorithm 2's lines 5, 10 and 13.
+	if n := strings.Count(asm, "clflush"); n != 3 {
+		t.Errorf("expected 3 clflush sites per block, found %d", n)
+	}
+	// Two blocks doubles the flush sites.
+	p := Paper()
+	p.Blocks = 2
+	if n := strings.Count(p.Asm(), "clflush"); n != 6 {
+		t.Errorf("expected 6 clflush sites with 2 blocks, found %d", n)
+	}
+}
+
+func TestDelayEmitsDispersionLoop(t *testing.T) {
+	p := Paper()
+	if strings.Contains(p.Asm(), "pt_delay") {
+		t.Error("zero-delay variant emitted a delay loop")
+	}
+	p.Delay = 50
+	if !strings.Contains(p.Asm(), "pt_delay") {
+		t.Error("delay variant missing dispersion loop")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if Scaled(3).Loops != 30 {
+		t.Errorf("Scaled(3).Loops = %d", Scaled(3).Loops)
+	}
+	if Scaled(0).Loops != 10 {
+		t.Errorf("Scaled(0) should clamp to 1x, got %d loops", Scaled(0).Loops)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{Loops: 0, Blocks: 1},
+		{Loops: 10, Blocks: 0},
+		{Loops: 1 << 20, Blocks: 1},
+		{Loops: 10, Blocks: 1, Delay: -1},
+		{Loops: 10, Blocks: 100},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("accepted %+v", p)
+		}
+	}
+}
+
+func TestAsmPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Asm accepted invalid params")
+		}
+	}()
+	_ = Params{}.Asm()
+}
+
+// Property: every mutation is valid, assemblable, and terminates (loop
+// counters bounded).
+func TestQuickMutateAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := Paper()
+	f := func() bool {
+		p = p.Mutate(rng)
+		if p.Validate() != nil {
+			return false
+		}
+		src := "halt\n" + p.Asm() + "\n.data\n" + DataAsm()
+		_, err := isa.Assemble(src)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutateMovesParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Paper()
+	distinct := 0
+	prev := p
+	for i := 0; i < 10; i++ {
+		next := prev.Mutate(rng)
+		if next != prev {
+			distinct++
+		}
+		prev = next
+	}
+	if distinct < 9 {
+		t.Errorf("only %d/10 mutations changed parameters", distinct)
+	}
+}
+
+func TestNoneIsNoOp(t *testing.T) {
+	src := ".entry main\nmain:\n\tcall perturb\n\thalt\n" + None()
+	if _, err := isa.Assemble(src); err != nil {
+		t.Fatalf("None() does not assemble: %v", err)
+	}
+}
+
+func TestStringIdentifiesVariant(t *testing.T) {
+	s := Paper().String()
+	for _, want := range []string{"a=11", "b=6", "loops=10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package pmu
+
+// Describe returns a one-line human description of the event, in the
+// style of `papi_avail` — used by hidlab's catalogue listing and the
+// documentation.
+func (e Event) Describe() string {
+	if d, ok := eventDescriptions[e]; ok {
+		return d
+	}
+	return "undocumented event"
+}
+
+var eventDescriptions = map[Event]string{
+	TotalCacheMisses:       "L1D + L2 misses per interval (paper feature 1)",
+	TotalCacheAccesses:     "L1D + L2 lookups per interval (paper feature 2)",
+	TotalBranches:          "all retired branch instructions (paper feature 3)",
+	BranchMispredictions:   "conditional + return + indirect mispredictions (paper feature 4)",
+	Instructions:           "retired instructions (paper feature 5)",
+	Cycles:                 "elapsed core cycles (paper feature 6)",
+	L1Accesses:             "L1D lookups",
+	L1Misses:               "L1D misses",
+	L1Evictions:            "L1D lines displaced by fills",
+	L1FlushHits:            "L1D lines invalidated by CLFLUSH",
+	L2Accesses:             "L2 lookups (L1D misses)",
+	L2Misses:               "L2 misses (DRAM fills)",
+	L2Evictions:            "L2 lines displaced by fills",
+	L2FlushHits:            "L2 lines invalidated by CLFLUSH",
+	Loads:                  "retired load-class instructions (LOAD/LOADB/POP/RET)",
+	Stores:                 "retired store-class instructions (STORE/STOREB/PUSH/CALL)",
+	MemoryOps:              "loads + stores",
+	CondBranches:           "retired conditional branches",
+	CondMispredictions:     "conditional branch mispredictions",
+	Returns:                "retired RET instructions",
+	ReturnMispredictions:   "RSB mispredictions (ROP chains light this up)",
+	IndirectBranches:       "retired indirect jumps/calls",
+	IndirectMispredictions: "BTB mispredictions",
+	DirectBranches:         "retired direct JMP/CALL",
+	SpecInstructions:       "wrong-path instructions executed then squashed",
+	SpecLoads:              "wrong-path loads (their fills persist: Spectre)",
+	Squashes:               "speculation episodes squashed",
+	FlushInstructions:      "retired CLFLUSH (perturbation/flush+reload fingerprint)",
+	FenceInstructions:      "retired MFENCE/LFENCE",
+	Syscalls:               "retired SYSCALLs",
+	StallCycles:            "cycles lost waiting on operands/drains",
+	TotalEvictions:         "L1D + L2 displacements",
+	TotalFlushHits:         "L1D + L2 CLFLUSH invalidations",
+	IPC:                    "instructions per cycle",
+	L1MissRate:             "L1D misses / lookups",
+	L2MissRate:             "L2 misses / lookups",
+	CacheMissRatio:         "total misses / total lookups",
+	BranchMispredRate:      "mispredictions / branches",
+	CondMispredRate:        "conditional mispredictions / conditional branches",
+	ReturnMispredRate:      "RSB mispredictions / returns",
+	LoadFraction:           "loads / instructions",
+	StoreFraction:          "stores / instructions",
+	SpecFraction:           "squashed instructions / retired instructions",
+	StallFraction:          "stall cycles / cycles",
+	SquashRate:             "squashes / branches",
+	FlushesPerKInstr:       "CLFLUSH per 1000 instructions",
+	FencesPerKInstr:        "fences per 1000 instructions",
+	SyscallsPerKInstr:      "syscalls per 1000 instructions",
+	SpecLoadsPerKInstr:     "wrong-path loads per 1000 instructions",
+	ReturnsPerKInstr:       "returns per 1000 instructions",
+	IndirectPerKInstr:      "indirect branches per 1000 instructions",
+	BranchesPerKInstr:      "branches per 1000 instructions",
+	MissesPerKInstr:        "cache misses per 1000 instructions",
+	EvictsPerKInstr:        "evictions per 1000 instructions",
+	L2AccessPerKInstr:      "L2 lookups per 1000 instructions",
+	CyclesPerBranch:        "cycles / branches",
+}

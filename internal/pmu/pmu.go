@@ -1,0 +1,357 @@
+// Package pmu models the performance monitoring unit and the PAPI-style
+// profiler of the paper's HID pipeline (§III-A): a catalogue of 56
+// countable events ("We collect a total of 56 performance events
+// available on the system"), a priority ordering whose first six entries
+// are the paper's training features (total cache misses, total cache
+// accesses, total branch instructions, branch mispredictions, total
+// number of instructions, total cycles), and an interval sampler that
+// turns a running core's counters into per-interval HPC vectors.
+package pmu
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// Event identifies one countable performance event.
+type Event int
+
+// The event catalogue. The first six events, in order, are the paper's
+// feature set; the remainder are the extended events a real PMU exposes
+// (raw counters, aggregates, and derived rates).
+const (
+	TotalCacheMisses     Event = iota // L1+L2 misses (paper feature 1)
+	TotalCacheAccesses                // L1+L2 accesses (paper feature 2)
+	TotalBranches                     // all branch instructions (paper feature 3)
+	BranchMispredictions              // all mispredictions (paper feature 4)
+	Instructions                      // retired instructions (paper feature 5)
+	Cycles                            // elapsed cycles (paper feature 6)
+
+	L1Accesses
+	L1Misses
+	L1Evictions
+	L1FlushHits
+	L2Accesses
+	L2Misses
+	L2Evictions
+	L2FlushHits
+	Loads
+	Stores
+	MemoryOps
+	CondBranches
+	CondMispredictions
+	Returns
+	ReturnMispredictions
+	IndirectBranches
+	IndirectMispredictions
+	DirectBranches
+	SpecInstructions
+	SpecLoads
+	Squashes
+	FlushInstructions
+	FenceInstructions
+	Syscalls
+	StallCycles
+	TotalEvictions
+	TotalFlushHits
+
+	IPC
+	L1MissRate
+	L2MissRate
+	CacheMissRatio
+	BranchMispredRate
+	CondMispredRate
+	ReturnMispredRate
+	LoadFraction
+	StoreFraction
+	SpecFraction
+	StallFraction
+	SquashRate
+
+	FlushesPerKInstr
+	FencesPerKInstr
+	SyscallsPerKInstr
+	SpecLoadsPerKInstr
+	ReturnsPerKInstr
+	IndirectPerKInstr
+	BranchesPerKInstr
+	MissesPerKInstr
+	EvictsPerKInstr
+	L2AccessPerKInstr
+	CyclesPerBranch
+
+	NumEvents // sentinel
+)
+
+var eventNames = [NumEvents]string{
+	TotalCacheMisses:       "total_cache_misses",
+	TotalCacheAccesses:     "total_cache_accesses",
+	TotalBranches:          "total_branch_instructions",
+	BranchMispredictions:   "branch_mispredictions",
+	Instructions:           "total_instructions",
+	Cycles:                 "total_cycles",
+	L1Accesses:             "l1_accesses",
+	L1Misses:               "l1_misses",
+	L1Evictions:            "l1_evictions",
+	L1FlushHits:            "l1_flush_hits",
+	L2Accesses:             "l2_accesses",
+	L2Misses:               "l2_misses",
+	L2Evictions:            "l2_evictions",
+	L2FlushHits:            "l2_flush_hits",
+	Loads:                  "loads",
+	Stores:                 "stores",
+	MemoryOps:              "memory_ops",
+	CondBranches:           "cond_branches",
+	CondMispredictions:     "cond_mispredictions",
+	Returns:                "returns",
+	ReturnMispredictions:   "return_mispredictions",
+	IndirectBranches:       "indirect_branches",
+	IndirectMispredictions: "indirect_mispredictions",
+	DirectBranches:         "direct_branches",
+	SpecInstructions:       "spec_instructions",
+	SpecLoads:              "spec_loads",
+	Squashes:               "squashes",
+	FlushInstructions:      "clflush_instructions",
+	FenceInstructions:      "fence_instructions",
+	Syscalls:               "syscalls",
+	StallCycles:            "stall_cycles",
+	TotalEvictions:         "total_evictions",
+	TotalFlushHits:         "total_flush_hits",
+	IPC:                    "ipc",
+	L1MissRate:             "l1_miss_rate",
+	L2MissRate:             "l2_miss_rate",
+	CacheMissRatio:         "cache_miss_ratio",
+	BranchMispredRate:      "branch_mispred_rate",
+	CondMispredRate:        "cond_mispred_rate",
+	ReturnMispredRate:      "return_mispred_rate",
+	LoadFraction:           "load_fraction",
+	StoreFraction:          "store_fraction",
+	SpecFraction:           "spec_fraction",
+	StallFraction:          "stall_fraction",
+	SquashRate:             "squash_rate",
+	FlushesPerKInstr:       "clflush_per_kinstr",
+	FencesPerKInstr:        "fences_per_kinstr",
+	SyscallsPerKInstr:      "syscalls_per_kinstr",
+	SpecLoadsPerKInstr:     "spec_loads_per_kinstr",
+	ReturnsPerKInstr:       "returns_per_kinstr",
+	IndirectPerKInstr:      "indirect_per_kinstr",
+	BranchesPerKInstr:      "branches_per_kinstr",
+	MissesPerKInstr:        "misses_per_kinstr",
+	EvictsPerKInstr:        "evicts_per_kinstr",
+	L2AccessPerKInstr:      "l2_access_per_kinstr",
+	CyclesPerBranch:        "cycles_per_branch",
+}
+
+// String returns the event's PAPI-style name.
+func (e Event) String() string {
+	if e < 0 || e >= NumEvents {
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// AllEvents returns the full catalogue in priority order.
+func AllEvents() []Event {
+	out := make([]Event, NumEvents)
+	for i := range out {
+		out[i] = Event(i)
+	}
+	return out
+}
+
+// Features returns the first n events of the priority ordering — the
+// paper's feature-size knob (1, 2, 4, 8, 16). n is clamped to the
+// catalogue size.
+func Features(n int) []Event {
+	if n < 1 {
+		n = 1
+	}
+	if n > int(NumEvents) {
+		n = int(NumEvents)
+	}
+	return AllEvents()[:n]
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func perK(a, b uint64) float64 { return 1000 * ratio(a, b) }
+
+// Extract computes the value of event e over the counter delta d.
+func Extract(d cpu.Snapshot, e Event) float64 {
+	switch e {
+	case TotalCacheMisses:
+		return float64(d.L1Misses + d.L2Misses)
+	case TotalCacheAccesses:
+		return float64(d.L1Accesses + d.L2Accesses)
+	case TotalBranches:
+		return float64(d.CondBranches + d.Returns + d.Indirect + d.Direct)
+	case BranchMispredictions:
+		return float64(d.CondMispred + d.ReturnMispred + d.IndirectMiss)
+	case Instructions:
+		return float64(d.Instructions)
+	case Cycles:
+		return float64(d.Cycles)
+	case L1Accesses:
+		return float64(d.L1Accesses)
+	case L1Misses:
+		return float64(d.L1Misses)
+	case L1Evictions:
+		return float64(d.L1Evicts)
+	case L1FlushHits:
+		return float64(d.L1Flushes)
+	case L2Accesses:
+		return float64(d.L2Accesses)
+	case L2Misses:
+		return float64(d.L2Misses)
+	case L2Evictions:
+		return float64(d.L2Evicts)
+	case L2FlushHits:
+		return float64(d.L2Flushes)
+	case Loads:
+		return float64(d.Loads)
+	case Stores:
+		return float64(d.Stores)
+	case MemoryOps:
+		return float64(d.Loads + d.Stores)
+	case CondBranches:
+		return float64(d.CondBranches)
+	case CondMispredictions:
+		return float64(d.CondMispred)
+	case Returns:
+		return float64(d.Returns)
+	case ReturnMispredictions:
+		return float64(d.ReturnMispred)
+	case IndirectBranches:
+		return float64(d.Indirect)
+	case IndirectMispredictions:
+		return float64(d.IndirectMiss)
+	case DirectBranches:
+		return float64(d.Direct)
+	case SpecInstructions:
+		return float64(d.SpecInstructions)
+	case SpecLoads:
+		return float64(d.SpecLoads)
+	case Squashes:
+		return float64(d.Squashes)
+	case FlushInstructions:
+		return float64(d.Flushes)
+	case FenceInstructions:
+		return float64(d.Fences)
+	case Syscalls:
+		return float64(d.Syscalls)
+	case StallCycles:
+		return float64(d.StallCycles)
+	case TotalEvictions:
+		return float64(d.L1Evicts + d.L2Evicts)
+	case TotalFlushHits:
+		return float64(d.L1Flushes + d.L2Flushes)
+	case IPC:
+		return ratio(d.Instructions, d.Cycles)
+	case L1MissRate:
+		return ratio(d.L1Misses, d.L1Accesses)
+	case L2MissRate:
+		return ratio(d.L2Misses, d.L2Accesses)
+	case CacheMissRatio:
+		return ratio(d.L1Misses+d.L2Misses, d.L1Accesses+d.L2Accesses)
+	case BranchMispredRate:
+		return ratio(d.CondMispred+d.ReturnMispred+d.IndirectMiss, d.CondBranches+d.Returns+d.Indirect)
+	case CondMispredRate:
+		return ratio(d.CondMispred, d.CondBranches)
+	case ReturnMispredRate:
+		return ratio(d.ReturnMispred, d.Returns)
+	case LoadFraction:
+		return ratio(d.Loads, d.Instructions)
+	case StoreFraction:
+		return ratio(d.Stores, d.Instructions)
+	case SpecFraction:
+		return ratio(d.SpecInstructions, d.Instructions)
+	case StallFraction:
+		return ratio(d.StallCycles, d.Cycles)
+	case SquashRate:
+		return ratio(d.Squashes, d.CondBranches+d.Returns+d.Indirect)
+	case FlushesPerKInstr:
+		return perK(d.Flushes, d.Instructions)
+	case FencesPerKInstr:
+		return perK(d.Fences, d.Instructions)
+	case SyscallsPerKInstr:
+		return perK(d.Syscalls, d.Instructions)
+	case SpecLoadsPerKInstr:
+		return perK(d.SpecLoads, d.Instructions)
+	case ReturnsPerKInstr:
+		return perK(d.Returns, d.Instructions)
+	case IndirectPerKInstr:
+		return perK(d.Indirect, d.Instructions)
+	case BranchesPerKInstr:
+		return perK(d.CondBranches+d.Returns+d.Indirect, d.Instructions)
+	case MissesPerKInstr:
+		return perK(d.L1Misses+d.L2Misses, d.Instructions)
+	case EvictsPerKInstr:
+		return perK(d.L1Evicts+d.L2Evicts, d.Instructions)
+	case L2AccessPerKInstr:
+		return perK(d.L2Accesses, d.Instructions)
+	case CyclesPerBranch:
+		return ratio(d.Cycles, d.CondBranches+d.Returns+d.Indirect)
+	}
+	return 0
+}
+
+// Vector extracts the given events from a delta into a feature vector.
+func Vector(d cpu.Snapshot, events []Event) []float64 {
+	out := make([]float64, len(events))
+	for i, e := range events {
+		out[i] = Extract(d, e)
+	}
+	return out
+}
+
+// Sample is one sampling interval's event vector.
+type Sample []float64
+
+// Sampler profiles a core at a fixed cycle interval, the runtime
+// monitoring loop of the paper's HID ("The HID performs realtime
+// profiling of the applications executing on the system").
+type Sampler struct {
+	// Interval is the sampling period in cycles.
+	Interval uint64
+	// Events selects which events each sample records.
+	Events []Event
+}
+
+// DefaultSampler samples the paper's 4-feature set every 50k cycles.
+func DefaultSampler() *Sampler {
+	return &Sampler{Interval: 50_000, Events: Features(4)}
+}
+
+// Run steps the core until it halts or maxInstr instructions retire,
+// emitting one sample per elapsed interval. The trailing partial
+// interval is kept when it covers at least half the period (so short
+// programs still produce a final sample).
+func (s *Sampler) Run(c *cpu.CPU, maxInstr uint64) ([]Sample, error) {
+	if s.Interval == 0 {
+		return nil, fmt.Errorf("pmu: sampling interval must be positive")
+	}
+	var samples []Sample
+	prev := c.Snapshot()
+	nextBoundary := c.Cycle + s.Interval
+	for retired := uint64(0); retired < maxInstr && !c.Halted(); retired++ {
+		if err := c.Step(); err != nil {
+			return samples, err
+		}
+		if c.Cycle >= nextBoundary {
+			snap := c.Snapshot()
+			samples = append(samples, Vector(snap.Sub(prev), s.Events))
+			prev = snap
+			nextBoundary = c.Cycle + s.Interval
+		}
+	}
+	if tail := c.Snapshot().Sub(prev); tail.Cycles >= s.Interval/2 {
+		samples = append(samples, Vector(tail, s.Events))
+	}
+	return samples, nil
+}

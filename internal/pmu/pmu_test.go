@@ -1,0 +1,163 @@
+package pmu
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func TestEventCatalogueIs56(t *testing.T) {
+	if int(NumEvents) != 56 {
+		t.Fatalf("catalogue has %d events, the paper collects 56", int(NumEvents))
+	}
+	if len(AllEvents()) != 56 {
+		t.Fatal("AllEvents length mismatch")
+	}
+	seen := map[string]bool{}
+	for _, e := range AllEvents() {
+		n := e.String()
+		if n == "" || seen[n] {
+			t.Errorf("event %d has empty/duplicate name %q", int(e), n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPaperFeaturePriority(t *testing.T) {
+	want := []Event{TotalCacheMisses, TotalCacheAccesses, TotalBranches, BranchMispredictions, Instructions, Cycles}
+	got := Features(6)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("feature %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if len(Features(0)) != 1 {
+		t.Error("Features(0) should clamp to 1")
+	}
+	if len(Features(1000)) != 56 {
+		t.Error("Features(1000) should clamp to 56")
+	}
+	if len(Features(4)) != 4 {
+		t.Error("Features(4) length wrong")
+	}
+}
+
+func TestExtractHeadlineEvents(t *testing.T) {
+	d := cpu.Snapshot{
+		Cycles: 1000, Instructions: 500,
+		L1Accesses: 100, L1Misses: 10, L2Accesses: 10, L2Misses: 4,
+		CondBranches: 50, CondMispred: 5, Returns: 10, ReturnMispred: 1,
+		Indirect: 2, IndirectMiss: 1, Direct: 8,
+		Loads: 60, Stores: 40, StallCycles: 200,
+	}
+	cases := map[Event]float64{
+		TotalCacheMisses:     14,
+		TotalCacheAccesses:   110,
+		TotalBranches:        70,
+		BranchMispredictions: 7,
+		Instructions:         500,
+		Cycles:               1000,
+		IPC:                  0.5,
+		L1MissRate:           0.1,
+		MemoryOps:            100,
+		StallFraction:        0.2,
+		BranchMispredRate:    7.0 / 62.0,
+	}
+	for e, want := range cases {
+		if got := Extract(d, e); got != want {
+			t.Errorf("%s = %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestExtractZeroDeltaIsFinite(t *testing.T) {
+	var d cpu.Snapshot
+	for _, e := range AllEvents() {
+		v := Extract(d, e)
+		if v != 0 {
+			t.Errorf("%s on zero delta = %v, want 0", e, v)
+		}
+	}
+}
+
+func TestVector(t *testing.T) {
+	d := cpu.Snapshot{Instructions: 10, Cycles: 20}
+	v := Vector(d, []Event{Instructions, Cycles, IPC})
+	if len(v) != 3 || v[0] != 10 || v[1] != 20 || v[2] != 0.5 {
+		t.Errorf("vector = %v", v)
+	}
+}
+
+func TestSamplerProducesSamples(t *testing.T) {
+	// A long-running loop sampled at a small interval must yield
+	// multiple samples with sane headline values.
+	mod := isa.MustAssemble(`
+		movi r1, 200000
+	loop:
+		subi r1, r1, 1
+		cmpi r1, 0
+		jne loop
+		halt
+	`)
+	img, err := mod.Link(0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(1 << 20)
+	if err := m.LoadRaw(img.Base, img.Code); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(img.Base, uint64(len(img.Code)), mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(m, cpu.DefaultConfig())
+	c.PC = img.Entry
+
+	s := &Sampler{Interval: 10_000, Events: Features(6)}
+	samples, err := s.Run(c, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 10 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	for i, smp := range samples {
+		if len(smp) != 6 {
+			t.Fatalf("sample %d has %d features", i, len(smp))
+		}
+		cycles := smp[5]
+		if cycles < 10_000 && i < len(samples)-1 {
+			t.Errorf("sample %d covers only %v cycles", i, cycles)
+		}
+		if smp[4] <= 0 {
+			t.Errorf("sample %d has no instructions", i)
+		}
+	}
+}
+
+func TestSamplerZeroIntervalRejected(t *testing.T) {
+	s := &Sampler{Interval: 0, Events: Features(1)}
+	if _, err := s.Run(nil, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestDefaultSampler(t *testing.T) {
+	s := DefaultSampler()
+	if s.Interval == 0 || len(s.Events) != 4 {
+		t.Errorf("default sampler = %+v", s)
+	}
+}
+
+func TestEveryEventDescribed(t *testing.T) {
+	for _, e := range AllEvents() {
+		if e.Describe() == "undocumented event" {
+			t.Errorf("event %s lacks a description", e)
+		}
+	}
+	if Event(999).Describe() != "undocumented event" {
+		t.Error("out-of-range event described")
+	}
+}

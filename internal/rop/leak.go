@@ -1,0 +1,51 @@
+package rop
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/vm"
+)
+
+// DebugRetOffset is where the leaked stale return address points inside
+// the host image: the instruction after `_start`'s call, i.e. base + one
+// instruction slot. Attackers subtract it to recover the (possibly
+// ASLR-slid) load base.
+const DebugRetOffset = 16
+
+// DebugLeak is what the host's verbose diagnostics path reveals.
+type DebugLeak struct {
+	// Base is the host image's recovered load base.
+	Base uint64
+	// Canary is the stale stack canary word (junk on non-canary builds).
+	Canary uint64
+}
+
+// LeakViaDebug exercises the host's "DBG" diagnostics input and parses
+// the two leaked stack words — the concrete info-leak primitive behind
+// the paper's §I citations of ASLR and canary bypasses ([14]-[17]).
+// The machine's output buffer is consumed and reset.
+func LeakViaDebug(m *vm.Machine, hostName string, budget uint64) (DebugLeak, error) {
+	m.Output.Reset()
+	if err := m.Exec(hostName, []byte("DBG"), budget); err != nil {
+		return DebugLeak{}, fmt.Errorf("rop: debug-leak run: %w", err)
+	}
+	lines := strings.Split(m.Output.String(), "\n")
+	m.Output.Reset()
+	if len(lines) < 2 {
+		return DebugLeak{}, fmt.Errorf("rop: debug path produced no leak")
+	}
+	ret, err := strconv.ParseUint(strings.TrimSpace(lines[0]), 10, 64)
+	if err != nil {
+		return DebugLeak{}, fmt.Errorf("rop: parsing leaked return address: %w", err)
+	}
+	canary, err := strconv.ParseUint(strings.TrimSpace(lines[1]), 10, 64)
+	if err != nil {
+		return DebugLeak{}, fmt.Errorf("rop: parsing leaked canary: %w", err)
+	}
+	if ret < DebugRetOffset {
+		return DebugLeak{}, fmt.Errorf("rop: implausible leaked return address %#x", ret)
+	}
+	return DebugLeak{Base: ret - DebugRetOffset, Canary: canary}, nil
+}

@@ -1,0 +1,75 @@
+package rop
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// BuildShellcodePayload builds the classic pre-DEP exploit: machine code
+// placed directly in the overflowed stack buffer, with the saved return
+// address pointing back into the buffer. It only works when the platform
+// maps the stack executable (vm.Config.StackExecutable); under DEP the
+// first fetched instruction faults — which is exactly why the paper's
+// attack reuses code already mapped executable instead.
+//
+// bufAddr is the runtime address of the vulnerable function's stack
+// buffer (stackTop - 8 - BufferOffset for the plain host scaffold, one
+// extra word lower with a canary). The shellcode EXECs execName, whose
+// string bytes ride along in the payload's argument-area copy.
+func BuildShellcodePayload(execName string, bufAddr uint64, canary *uint64) ([]byte, PayloadLayout, error) {
+	lay := PayloadLayout{CanaryOffset: -1}
+	nameOff := BufferOffset + 8 // past the buffer and the return address
+	if canary != nil {
+		nameOff += 8
+	}
+	nameAddr := uint64(vm.ArgBase) + uint64(nameOff)
+
+	shellcode := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 0, Imm: vm.SysExec},
+		{Op: isa.MOVI, Rd: 1, Imm: int64(nameAddr)},
+		{Op: isa.SYSCALL},
+		{Op: isa.HALT},
+	}
+	maxSlots := BufferOffset / isa.InstrSize
+	if len(shellcode) > maxSlots {
+		return nil, lay, fmt.Errorf("rop: shellcode of %d instructions exceeds buffer (%d slots)", len(shellcode), maxSlots)
+	}
+	payload := make([]byte, BufferOffset)
+	for i, in := range shellcode {
+		if err := in.Encode(payload[i*isa.InstrSize:]); err != nil {
+			return nil, lay, err
+		}
+	}
+	// Remaining slots stay zero, which decode as NOPs; irrelevant since
+	// control enters at the buffer start.
+	lay.FillerLen = BufferOffset - len(shellcode)*isa.InstrSize
+
+	if canary != nil {
+		lay.CanaryOffset = len(payload)
+		payload = appendWord(payload, *canary)
+	}
+	lay.ChainOffset = len(payload)
+	payload = appendWord(payload, bufAddr) // return into the shellcode
+	payload = append(payload, execName...)
+	payload = append(payload, 0)
+	return payload, lay, nil
+}
+
+// ShellcodeBufAddr computes the vulnerable buffer's runtime address for
+// the host scaffold given the machine's initial stack pointer.
+func ShellcodeBufAddr(stackTop uint64, canary bool) uint64 {
+	addr := stackTop - 8 - BufferOffset // _start's CALL pushed one word
+	if canary {
+		addr -= 8
+	}
+	return addr
+}
+
+func appendWord(b []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package rop
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func shellcodeMachine(t *testing.T, executable bool, canary bool) *vm.Machine {
+	t.Helper()
+	cfg := vm.DefaultConfig()
+	cfg.StackExecutable = executable
+	m := vm.New(cfg)
+	host, err := isa.Assemble(HostSource(trivialWorkload, HostOptions{Canary: canary}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Register("host", host, 0x100000)
+	m.Register("attack", isa.MustAssemble(attackBinary), 0x400000)
+	return m
+}
+
+func TestShellcodeOnExecutableStack(t *testing.T) {
+	m := shellcodeMachine(t, true, false)
+	payload, lay, err := BuildShellcodePayload("attack", ShellcodeBufAddr(m.StackTop(), false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.ChainOffset != BufferOffset {
+		t.Errorf("layout = %+v", lay)
+	}
+	if err := m.Exec("host", payload, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output.String() != "PWNED" {
+		t.Errorf("output = %q", m.Output.String())
+	}
+}
+
+func TestShellcodeBlockedByDEP(t *testing.T) {
+	m := shellcodeMachine(t, false, false)
+	payload, _, err := BuildShellcodePayload("attack", ShellcodeBufAddr(m.StackTop(), false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := m.Exec("host", payload, 1_000_000)
+	if runErr == nil && m.Output.String() == "PWNED" {
+		t.Fatal("shellcode executed despite DEP")
+	}
+}
+
+func TestShellcodeWithLeakedCanary(t *testing.T) {
+	m := shellcodeMachine(t, true, true)
+	img, err := m.Load("host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canary := uint64(0xfeedface)
+	if err := m.Mem.Write64(img.MustSymbol("__canary"), canary); err != nil {
+		t.Fatal(err)
+	}
+	payload, lay, err := BuildShellcodePayload("attack", ShellcodeBufAddr(m.StackTop(), true), &canary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.CanaryOffset != BufferOffset {
+		t.Errorf("canary offset = %d", lay.CanaryOffset)
+	}
+	if err := m.Exec("host", payload, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Aborted {
+		t.Fatal("correct canary still aborted")
+	}
+	if m.Output.String() != "PWNED" {
+		t.Errorf("output = %q", m.Output.String())
+	}
+}
+
+func TestShellcodeBufAddr(t *testing.T) {
+	if got, want := ShellcodeBufAddr(0x1000, false), uint64(0x1000-8-BufferOffset); got != want {
+		t.Errorf("plain = %#x, want %#x", got, want)
+	}
+	if got, want := ShellcodeBufAddr(0x1000, true), uint64(0x1000-16-BufferOffset); got != want {
+		t.Errorf("canary = %#x, want %#x", got, want)
+	}
+}

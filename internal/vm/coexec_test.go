@@ -1,0 +1,184 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// streamNeighbour sweeps a 256 KiB buffer, displacing cache lines.
+const streamNeighbour = `
+.entry main
+main:
+	movi r1, 0
+	movi r2, buf
+loop:
+	mov r3, r1
+	add r3, r3, r2
+	load r4, [r3]
+	addi r4, r4, 1
+	store [r3], r4
+	addi r1, r1, 64
+	cmpi r1, 262144
+	jb loop
+	movi r0, 0
+	movi r1, 0
+	syscall
+.data
+.align 64
+buf: .space 262144
+`
+
+// reloader warms one line then repeatedly times reloading it, printing
+// each latency.
+const reloader = `
+.entry main
+main:
+	movi r2, target
+	loadb r3, [r2]         ; warm
+	movi r4, 40            ; measurements
+again:
+	; think for a while so the neighbour can interfere
+	movi r5, 20000
+think:
+	subi r5, r5, 1
+	cmpi r5, 0
+	jne think
+	rdtsc r6
+	loadb r3, [r2]
+	lfence
+	rdtsc r7
+	sub r7, r7, r6
+	push r4
+	movi r0, 2
+	mov r1, r7
+	syscall
+	pop r4
+	subi r4, r4, 1
+	cmpi r4, 0
+	jne again
+	movi r0, 0
+	movi r1, 0
+	syscall
+.data
+.align 64
+target: .space 64
+`
+
+func buildPair(t *testing.T) (*Machine, *Machine, *CoExec) {
+	t.Helper()
+	primary := New(DefaultConfig())
+	primary.Register("reloader", isa.MustAssemble(reloader), 0x100000)
+	if _, err := primary.Load("reloader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Start("reloader"); err != nil {
+		t.Fatal(err)
+	}
+	neighbour := New(DefaultConfig())
+	neighbour.Register("stream", isa.MustAssemble(streamNeighbour), 0x900000)
+	co := NewCoExec(primary, neighbour, 1500)
+	return primary, neighbour, co
+}
+
+func parseLatencies(t *testing.T, out string) (slow int, total int) {
+	t.Helper()
+	cur := 0
+	has := false
+	flush := func() {
+		if has {
+			total++
+			if cur > 100 {
+				slow++
+			}
+		}
+		cur, has = 0, false
+	}
+	for _, ch := range out {
+		if ch >= '0' && ch <= '9' {
+			cur = cur*10 + int(ch-'0')
+			has = true
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return slow, total
+}
+
+func TestSharedCacheInterference(t *testing.T) {
+	// Alone: every reload is an L1 hit.
+	alone := New(DefaultConfig())
+	alone.Register("reloader", isa.MustAssemble(reloader), 0x100000)
+	if err := alone.Exec("reloader", nil, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	slowAlone, totalAlone := parseLatencies(t, alone.Output.String())
+	if totalAlone != 40 {
+		t.Fatalf("alone run produced %d measurements", totalAlone)
+	}
+	if slowAlone != 0 {
+		t.Fatalf("alone run saw %d slow reloads", slowAlone)
+	}
+
+	// With a streaming neighbour on the shared hierarchy: some reloads
+	// must turn slow (the line was displaced between measurements).
+	primary, _, co := buildPair(t)
+	if err := co.StartNeighbour("stream", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	slow, total := parseLatencies(t, primary.Output.String())
+	if total != 40 {
+		t.Fatalf("co-run produced %d measurements", total)
+	}
+	if slow == 0 {
+		t.Error("shared-cache neighbour displaced nothing; interference model inert")
+	}
+}
+
+func TestCoExecNeighbourRestarts(t *testing.T) {
+	// A tiny neighbour finishes immediately and must be restarted to
+	// keep pressure up for the whole primary run.
+	primary := New(DefaultConfig())
+	primary.Register("reloader", isa.MustAssemble(reloader), 0x100000)
+	if _, err := primary.Load("reloader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Start("reloader"); err != nil {
+		t.Fatal(err)
+	}
+	neighbour := New(DefaultConfig())
+	tiny := isa.MustAssemble(`
+		movi r0, 0
+		movi r1, 0
+		syscall
+	`)
+	neighbour.Register("tiny", tiny, 0x900000)
+	co := NewCoExec(primary, neighbour, 500)
+	if err := co.StartNeighbour("tiny", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if neighbour.CPU.Instret() < 100 {
+		t.Errorf("neighbour retired only %d instructions; restart loop broken", neighbour.CPU.Instret())
+	}
+}
+
+func TestCoExecRequiresStartedNeighbour(t *testing.T) {
+	_, _, co := buildPair(t)
+	if err := co.Run(1000); err == nil {
+		t.Error("run without neighbour start accepted")
+	}
+}
+
+func TestCoExecSharedHierarchy(t *testing.T) {
+	primary, neighbour, _ := buildPair(t)
+	if primary.CPU.Caches != neighbour.CPU.Caches {
+		t.Error("machines do not share a cache hierarchy")
+	}
+}
