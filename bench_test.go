@@ -12,7 +12,10 @@ package repro
 //	table1 — mean perturbation overhead (paper: 0.6% / 1.1%)
 
 import (
+	"flag"
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/experiments"
@@ -24,6 +27,11 @@ import (
 	"repro/internal/vm"
 )
 
+// benchWorkers bounds the experiment engine's parallelism in the figure
+// benchmarks (0 = all cores); results are identical for any value, only
+// wall-clock changes: go test -bench Fig5 -workers 1.
+var benchWorkers = flag.Int("workers", 0, "worker pool width for figure benchmarks (0 = all cores)")
+
 // benchConfig is the CI-scaled campaign configuration shared by the
 // figure benchmarks. Raise SamplesPerClass/Attempts for paper-scale runs
 // (see cmd/experiments).
@@ -34,32 +42,65 @@ func benchConfig() experiments.Config {
 	cfg.Secret = "SECR3T42"
 	cfg.Classifiers = []string{"mlp", "lr"}
 	cfg.Interval = 10_000
+	cfg.Workers = *benchWorkers
 	return cfg
 }
 
 // BenchmarkFig4FeatureSize regenerates the Fig. 4 sweep and reports the
 // mean accuracy at feature sizes 4 (the paper's operating point) and 1
-// (the collapsed configuration).
+// (the collapsed configuration). The workers sub-benchmarks produce
+// identical accuracies — comparing their ns/op is the engine's speedup.
 func BenchmarkFig4FeatureSize(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig4(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean := func(size int) float64 {
+					var s float64
+					n := 0
+					for _, r := range rows {
+						if r.FeatureSize == size {
+							s += r.Accuracy
+							n++
+						}
+					}
+					return s / float64(n)
+				}
+				b.ReportMetric(100*mean(4), "acc4_%")
+				b.ReportMetric(100*mean(1), "acc1_%")
+			}
+		})
+	}
+}
+
+// BenchmarkCorpusSpeedup times the same benign-corpus build at Workers=1
+// and Workers=4 inside one iteration and reports the ratio directly as
+// speedup_x — the headline number for the parallel experiment engine.
+func BenchmarkCorpusSpeedup(b *testing.B) {
 	cfg := benchConfig()
+	cfg.SamplesPerClass = 200
+	workloads := mibench.AllWithBackgrounds()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig4(cfg)
-		if err != nil {
+		cfg.Workers = 1
+		start := time.Now()
+		if _, err := cfg.BenignCorpus(workloads, cfg.SamplesPerClass); err != nil {
 			b.Fatal(err)
 		}
-		mean := func(size int) float64 {
-			var s float64
-			n := 0
-			for _, r := range rows {
-				if r.FeatureSize == size {
-					s += r.Accuracy
-					n++
-				}
-			}
-			return s / float64(n)
+		seq := time.Since(start)
+		cfg.Workers = 4
+		start = time.Now()
+		if _, err := cfg.BenignCorpus(workloads, cfg.SamplesPerClass); err != nil {
+			b.Fatal(err)
 		}
-		b.ReportMetric(100*mean(4), "acc4_%")
-		b.ReportMetric(100*mean(1), "acc1_%")
+		par := time.Since(start)
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup_x")
+		b.ReportMetric(seq.Seconds(), "seq_s")
+		b.ReportMetric(par.Seconds(), "par_s")
 	}
 }
 

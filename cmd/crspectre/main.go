@@ -7,35 +7,59 @@
 // Usage:
 //
 //	crspectre [-host math] [-variant v1-bounds-check] [-secret S]
-//	          [-perturb] [-detector mlp] [-seed N]
+//	          [-perturb] [-detector mlp] [-seed N] [-workers N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro"
 )
 
+// errSecretWrong reports a completed run that failed to recover the
+// planted secret (exit code 2, distinct from operational errors).
+var errSecretWrong = errors.New("crspectre: recovered secret does not match")
+
 func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, errSecretWrong) || errors.Is(err, flag.ErrHelp) {
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "crspectre:", err)
+	os.Exit(1)
+}
+
+// run executes the tool against args, writing the report to stdout. It
+// is the testable core of main.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("crspectre", flag.ContinueOnError)
 	var (
-		host     = flag.String("host", "math", "host workload to hijack (see -list)")
-		variant  = flag.String("variant", "v1-bounds-check", "spectre variant: "+strings.Join(repro.Variants(), ", "))
-		secret   = flag.String("secret", "SPECTRE_PoC_42", "secret planted in the host")
-		perturb  = flag.Bool("perturb", false, "inject Algorithm 2's dynamic perturbations")
-		detector = flag.String("detector", "", "score the run with an HID: mlp, nn, lr, svm")
-		seed     = flag.Int64("seed", 1, "layout/initialisation seed")
-		list     = flag.Bool("list", false, "list available hosts and exit")
+		host     = fs.String("host", "math", "host workload to hijack (see -list)")
+		variant  = fs.String("variant", "v1-bounds-check", "spectre variant: "+strings.Join(repro.Variants(), ", "))
+		secret   = fs.String("secret", "SPECTRE_PoC_42", "secret planted in the host")
+		perturb  = fs.Bool("perturb", false, "inject Algorithm 2's dynamic perturbations")
+		detector = fs.String("detector", "", "score the run with an HID: mlp, nn, lr, svm")
+		seed     = fs.Int64("seed", 1, "layout/initialisation seed")
+		workers  = fs.Int("workers", 0, "parallel corpus building when -detector is set (0 = all cores)")
+		list     = fs.Bool("list", false, "list available hosts and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, w := range repro.Workloads() {
-			fmt.Println(w)
+			fmt.Fprintln(stdout, w)
 		}
-		return
+		return nil
 	}
 
 	rep, err := repro.RunAttack(repro.AttackOptions{
@@ -45,27 +69,28 @@ func main() {
 		Perturbed: *perturb,
 		Detector:  *detector,
 		Seed:      *seed,
+		Workers:   *workers,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "crspectre:", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Printf("host:             %s\n", rep.Host)
-	fmt.Printf("variant:          %s\n", rep.Variant)
-	fmt.Printf("gadgets found:    %d\n", rep.GadgetsFound)
-	fmt.Printf("rop chain words:  %d\n", rep.ChainWords)
-	fmt.Printf("injected:         %t\n", rep.Injected)
-	fmt.Printf("recovered secret: %q\n", rep.Recovered)
-	fmt.Printf("secret correct:   %t\n", rep.SecretCorrect)
-	fmt.Printf("host completed:   %t\n", rep.HostCompleted)
-	fmt.Printf("combined IPC:     %.4f\n", rep.IPC)
-	fmt.Printf("HPC samples:      %d\n", rep.Samples)
+	fmt.Fprintf(stdout, "host:             %s\n", rep.Host)
+	fmt.Fprintf(stdout, "variant:          %s\n", rep.Variant)
+	fmt.Fprintf(stdout, "gadgets found:    %d\n", rep.GadgetsFound)
+	fmt.Fprintf(stdout, "rop chain words:  %d\n", rep.ChainWords)
+	fmt.Fprintf(stdout, "injected:         %t\n", rep.Injected)
+	fmt.Fprintf(stdout, "recovered secret: %q\n", rep.Recovered)
+	fmt.Fprintf(stdout, "secret correct:   %t\n", rep.SecretCorrect)
+	fmt.Fprintf(stdout, "host completed:   %t\n", rep.HostCompleted)
+	fmt.Fprintf(stdout, "combined IPC:     %.4f\n", rep.IPC)
+	fmt.Fprintf(stdout, "HPC samples:      %d\n", rep.Samples)
 	if rep.DetectorName != "" {
-		fmt.Printf("detector (%s):    accuracy %.1f%% -> %s\n",
+		fmt.Fprintf(stdout, "detector (%s):    accuracy %.1f%% -> %s\n",
 			rep.DetectorName, 100*rep.DetectionRate, rep.DetectorVerdict)
 	}
 	if !rep.SecretCorrect {
-		os.Exit(2)
+		return errSecretWrong
 	}
+	return nil
 }

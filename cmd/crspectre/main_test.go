@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunAttackSmoke exercises the full single-attack flow: load the
+// host, scan gadgets, inject the chain, leak the secret, and print the
+// report. The run must recover the planted secret (otherwise run
+// returns errSecretWrong).
+func TestRunAttackSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-host", "math", "-secret", "SMOKE_42", "-seed", "7"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		`recovered secret: "SMOKE_42"`,
+		"secret correct:   true",
+		"injected:         true",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, want := range []string{"math", "qsort"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing workload %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunUnknownVariant(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-variant", "nope"}, &out); err == nil {
+		t.Error("run with unknown variant succeeded, want error")
+	}
+}

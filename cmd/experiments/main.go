@@ -9,11 +9,17 @@
 //	experiments -all                       # everything, CI-scale
 //	experiments -fig 5 -samples 2000       # paper-scale Fig. 5
 //	experiments -table 1 -csvdir out/
+//	experiments -fig 4 -workers 8          # explicit fan-out width
+//
+// The -workers flag bounds the experiment engine's parallelism and
+// defaults to all cores; any value produces byte-identical results.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,133 +28,168 @@ import (
 	"repro/internal/experiments"
 )
 
+// errUsage marks a bad invocation (exit code 2, like flag errors).
+var errUsage = errors.New("experiments: pick -fig 4|5|6, -table 1, -latency, -recycle, -alarms, or -all")
+
 func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, err)
+	if errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// run executes the tool against args, writing results to stdout. It is
+// the testable core of main.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 4, 5, 6")
-		table   = flag.String("table", "", "table to regenerate: 1")
-		latency = flag.Bool("latency", false, "run the detection-latency extension experiment")
-		recycle = flag.Bool("recycle", false, "run the variant-recycling extension experiment (windowed HID)")
-		alarms  = flag.Bool("alarms", false, "run the run-level alarm-policy extension experiment")
-		all     = flag.Bool("all", false, "regenerate every figure and table")
-		samples = flag.Int("samples", 400, "training samples per class (paper: 2000)")
-		att     = flag.Int("attempts", 10, "attack attempts per campaign")
-		seed    = flag.Int64("seed", 1, "pipeline seed")
-		csvdir  = flag.String("csvdir", "", "also write CSV files into this directory")
+		fig     = fs.String("fig", "", "figure to regenerate: 4, 5, 6")
+		table   = fs.String("table", "", "table to regenerate: 1")
+		latency = fs.Bool("latency", false, "run the detection-latency extension experiment")
+		recycle = fs.Bool("recycle", false, "run the variant-recycling extension experiment (windowed HID)")
+		alarms  = fs.Bool("alarms", false, "run the run-level alarm-policy extension experiment")
+		all     = fs.Bool("all", false, "regenerate every figure and table")
+		samples = fs.Int("samples", 400, "training samples per class (paper: 2000)")
+		att     = fs.Int("attempts", 10, "attack attempts per campaign")
+		seed    = fs.Int64("seed", 1, "pipeline seed")
+		reps    = fs.Int("reps", 0, "Table I repetitions per cell (0 = default 3)")
+		workers = fs.Int("workers", 0, "parallel simulated machines (0 = all cores); results are identical for any value")
+		csvdir  = fs.String("csvdir", "", "also write CSV files into this directory")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.SamplesPerClass = *samples
 	cfg.Attempts = *att
 	cfg.Seed = *seed
+	cfg.Reps = *reps
+	cfg.Workers = *workers
 
 	if !*all && *fig == "" && *table == "" && !*latency && !*recycle && !*alarms {
-		fmt.Fprintln(os.Stderr, "experiments: pick -fig 4|5|6, -table 1, -latency, -recycle, -alarms, or -all")
-		os.Exit(2)
+		return errUsage
 	}
 
-	run := func(name string, f func() error) {
+	section := func(name string, f func() error) error {
 		start := time.Now()
-		fmt.Printf("=== %s ===\n", name)
+		fmt.Fprintf(stdout, "=== %s ===\n", name)
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("experiments: %s: %w", name, err)
 		}
-		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		return nil
 	}
 
-	writeCSV := func(name string, emit func(f *os.File)) {
+	writeCSV := func(name string, emit func(f *os.File)) error {
 		if *csvdir == "" {
-			return
+			return nil
 		}
 		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return fmt.Errorf("experiments: %w", err)
 		}
 		f, err := os.Create(filepath.Join(*csvdir, name))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return fmt.Errorf("experiments: %w", err)
 		}
 		emit(f)
-		f.Close()
-		fmt.Printf("wrote %s\n", filepath.Join(*csvdir, name))
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", filepath.Join(*csvdir, name))
+		return nil
 	}
 
 	want := func(s, v string) bool { return *all || strings.TrimSpace(s) == v }
 
 	if want(*fig, "4") {
-		run("Fig 4: HID accuracy vs feature size", func() error {
+		if err := section("Fig 4: HID accuracy vs feature size", func() error {
 			rows, err := experiments.Fig4(cfg)
 			if err != nil {
 				return err
 			}
-			experiments.RenderFig4(os.Stdout, rows)
-			writeCSV("fig4.csv", func(f *os.File) { experiments.Fig4CSV(f, rows) })
-			return nil
-		})
+			experiments.RenderFig4(stdout, rows)
+			return writeCSV("fig4.csv", func(f *os.File) { experiments.Fig4CSV(f, rows) })
+		}); err != nil {
+			return err
+		}
 	}
 	if want(*fig, "5") {
-		run("Fig 5: offline-type HID campaign", func() error {
+		if err := section("Fig 5: offline-type HID campaign", func() error {
 			res, err := experiments.Fig5(cfg)
 			if err != nil {
 				return err
 			}
-			experiments.RenderCampaign(os.Stdout, res, cfg.Classifiers)
-			writeCSV("fig5.csv", func(f *os.File) { experiments.CampaignCSV(f, res) })
-			return nil
-		})
+			experiments.RenderCampaign(stdout, res, cfg.Classifiers)
+			return writeCSV("fig5.csv", func(f *os.File) { experiments.CampaignCSV(f, res) })
+		}); err != nil {
+			return err
+		}
 	}
 	if want(*fig, "6") {
-		run("Fig 6: online-type HID campaign", func() error {
+		if err := section("Fig 6: online-type HID campaign", func() error {
 			res, err := experiments.Fig6(cfg)
 			if err != nil {
 				return err
 			}
-			experiments.RenderCampaign(os.Stdout, res, cfg.Classifiers)
-			writeCSV("fig6.csv", func(f *os.File) { experiments.CampaignCSV(f, res) })
-			return nil
-		})
+			experiments.RenderCampaign(stdout, res, cfg.Classifiers)
+			return writeCSV("fig6.csv", func(f *os.File) { experiments.CampaignCSV(f, res) })
+		}); err != nil {
+			return err
+		}
 	}
 	if *all || *latency {
-		run("Extension: online-HID detection latency", func() error {
+		if err := section("Extension: online-HID detection latency", func() error {
 			rows, err := experiments.DetectionLatency(cfg, 6)
 			if err != nil {
 				return err
 			}
-			experiments.RenderLatency(os.Stdout, rows)
+			experiments.RenderLatency(stdout, rows)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *all || *recycle {
-		run("Extension: variant recycling vs windowed HID", func() error {
+		if err := section("Extension: variant recycling vs windowed HID", func() error {
 			rows, err := experiments.VariantRecycling(cfg, 600)
 			if err != nil {
 				return err
 			}
-			experiments.RenderRecycling(os.Stdout, rows)
+			experiments.RenderRecycling(stdout, rows)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *all || *alarms {
-		run("Extension: run-level alarm policies vs diluted CR-Spectre", func() error {
+		if err := section("Extension: run-level alarm policies vs diluted CR-Spectre", func() error {
 			rows, err := experiments.RunLevelDetection(cfg, nil, 6)
 			if err != nil {
 				return err
 			}
-			experiments.RenderAlarms(os.Stdout, rows)
+			experiments.RenderAlarms(stdout, rows)
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if want(*table, "1") {
-		run("Table I: IPC overhead", func() error {
+		if err := section("Table I: IPC overhead", func() error {
 			rows, err := experiments.Table1(cfg)
 			if err != nil {
 				return err
 			}
-			experiments.RenderTable1(os.Stdout, rows)
-			writeCSV("table1.csv", func(f *os.File) { experiments.Table1CSV(f, rows) })
-			return nil
-		})
+			experiments.RenderTable1(stdout, rows)
+			return writeCSV("table1.csv", func(f *os.File) { experiments.Table1CSV(f, rows) })
+		}); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFig4Smoke drives the CLI end-to-end on a tiny config: parse
+// flags, build corpora through the worker pool, train, render, and
+// write the CSV artefact.
+func TestRunFig4Smoke(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-fig", "4",
+		"-samples", "30",
+		"-seed", "3",
+		"-workers", "2",
+		"-csvdir", dir,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Fig 4") {
+		t.Errorf("missing section header in output:\n%s", text)
+	}
+	if !strings.Contains(text, "mlp") && !strings.Contains(text, "%") {
+		t.Errorf("no accuracy table rendered:\n%s", text)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if err != nil {
+		t.Fatalf("fig4.csv not written: %v", err)
+	}
+	if lines := bytes.Count(csv, []byte("\n")); lines < 2 {
+		t.Errorf("fig4.csv has %d lines, want at least a header and a row", lines)
+	}
+}
+
+func TestRunNoSelection(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); !errors.Is(err, errUsage) {
+		t.Errorf("run with no selection = %v, want errUsage", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("run with an unknown flag succeeded, want parse error")
+	}
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	hidlab [-features 4] [-samples 400] [-classifiers mlp,nn,lr,svm]
-//	       [-export traces.csv] [-seed N]
+//	       [-export traces.csv] [-seed N] [-workers N]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 		classifiers = flag.String("classifiers", "mlp,nn,lr,svm", "comma-separated classifier families")
 		export      = flag.String("export", "", "write the labelled corpus to this CSV file")
 		seed        = flag.Int64("seed", 1, "pipeline seed")
+		workers     = flag.Int("workers", 0, "parallel simulated machines (0 = all cores); results are identical for any value")
 		cv          = flag.Int("cv", 0, "also run k-fold cross-validation with this k")
 		events      = flag.Bool("events", false, "list the 56-event PMU catalogue and exit")
 		profile     = flag.Int("profile", -1, "print per-app distribution stats for this feature index")
@@ -50,6 +51,7 @@ func main() {
 	cfg.FeatureSize = *features
 	cfg.SamplesPerClass = *samples
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	fmt.Printf("profiling benign corpus (%d workloads)...\n", len(mibench.AllWithBackgrounds()))
 	benign, err := cfg.BenignCorpus(mibench.AllWithBackgrounds(), cfg.SamplesPerClass)

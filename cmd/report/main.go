@@ -6,13 +6,16 @@
 // Usage:
 //
 //	report -o results/REPORT.md -samples 400 -attempts 10
+//	report -o out.md -sections fig4,table1 -workers 8
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/defense"
@@ -21,39 +24,79 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against args, writing progress/summary lines to
+// stdout and the report to the -o file. It is the testable core of main.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var (
-		out     = flag.String("o", "results/REPORT.md", "output markdown file")
-		samples = flag.Int("samples", 400, "training samples per class")
-		att     = flag.Int("attempts", 10, "attack attempts per campaign")
-		seed    = flag.Int64("seed", 1, "pipeline seed")
+		out      = fs.String("o", "results/REPORT.md", "output markdown file")
+		samples  = fs.Int("samples", 400, "training samples per class")
+		att      = fs.Int("attempts", 10, "attack attempts per campaign")
+		seed     = fs.Int64("seed", 1, "pipeline seed")
+		workers  = fs.Int("workers", 0, "parallel simulated machines (0 = all cores); results are identical for any value")
+		sections = fs.String("sections", "", "comma-separated subset to run: fig4,fig5,fig6,table1,defense,latency,recycle,ensemble,alarms (empty = all)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.SamplesPerClass = *samples
 	cfg.Attempts = *att
 	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	known := []string{"fig4", "fig5", "fig6", "table1", "defense", "latency", "recycle", "ensemble", "alarms"}
+	enabled := map[string]bool{}
+	for _, s := range strings.Split(*sections, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			enabled[s] = true
+		}
+	}
+	for key := range enabled {
+		found := false
+		for _, k := range known {
+			if k == key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown section %q (valid: %s)", key, strings.Join(known, ","))
+		}
+	}
+	want := func(key string) bool { return len(enabled) == 0 || enabled[key] }
 
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "# CR-Spectre reproduction report\n\n")
 	fmt.Fprintf(&b, "Generated %s · seed %d · %d samples/class · %d attempts\n\n",
 		time.Now().Format("2006-01-02 15:04"), cfg.Seed, cfg.SamplesPerClass, cfg.Attempts)
-	fmt.Fprintf(&b, "Every number below is deterministic under the seed; rerun\n")
+	fmt.Fprintf(&b, "Every number below is deterministic under the seed (independent of\n")
+	fmt.Fprintf(&b, "-workers); rerun\n")
 	fmt.Fprintf(&b, "`go run ./cmd/report -seed %d -samples %d -attempts %d` to reproduce it.\n\n",
 		cfg.Seed, cfg.SamplesPerClass, cfg.Attempts)
 
-	section := func(title string, f func() (string, error)) {
+	section := func(key, title string, f func() (string, error)) error {
+		if !want(key) {
+			return nil
+		}
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "running: %s...\n", title)
+		fmt.Fprintf(stdout, "running: %s...\n", title)
 		body, err := f()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "report: %s: %v\n", title, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", title, err)
 		}
 		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n*(%.1fs)*\n\n", title, body, time.Since(start).Seconds())
+		return nil
 	}
 
-	section("Fig. 4 — HID accuracy vs feature size", func() (string, error) {
+	if err := section("fig4", "Fig. 4 — HID accuracy vs feature size", func() (string, error) {
 		rows, err := experiments.Fig4(cfg)
 		if err != nil {
 			return "", err
@@ -61,9 +104,11 @@ func main() {
 		var s bytes.Buffer
 		experiments.RenderFig4(&s, rows)
 		return s.String(), nil
-	})
+	}); err != nil {
+		return err
+	}
 
-	section("Fig. 5 — offline-type HID: Spectre vs CR-Spectre", func() (string, error) {
+	if err := section("fig5", "Fig. 5 — offline-type HID: Spectre vs CR-Spectre", func() (string, error) {
 		res, err := experiments.Fig5(cfg)
 		if err != nil {
 			return "", err
@@ -71,9 +116,11 @@ func main() {
 		var s bytes.Buffer
 		experiments.RenderCampaign(&s, res, cfg.Classifiers)
 		return s.String(), nil
-	})
+	}); err != nil {
+		return err
+	}
 
-	section("Fig. 6 — online-type HID: Spectre vs CR-Spectre", func() (string, error) {
+	if err := section("fig6", "Fig. 6 — online-type HID: Spectre vs CR-Spectre", func() (string, error) {
 		res, err := experiments.Fig6(cfg)
 		if err != nil {
 			return "", err
@@ -81,9 +128,11 @@ func main() {
 		var s bytes.Buffer
 		experiments.RenderCampaign(&s, res, cfg.Classifiers)
 		return s.String(), nil
-	})
+	}); err != nil {
+		return err
+	}
 
-	section("Table I — IPC overhead", func() (string, error) {
+	if err := section("table1", "Table I — IPC overhead", func() (string, error) {
 		rows, err := experiments.Table1(cfg)
 		if err != nil {
 			return "", err
@@ -91,9 +140,11 @@ func main() {
 		var s bytes.Buffer
 		experiments.RenderTable1(&s, rows)
 		return s.String(), nil
-	})
+	}); err != nil {
+		return err
+	}
 
-	section("Defense matrix (§I / §IV)", func() (string, error) {
+	if err := section("defense", "Defense matrix (§I / §IV)", func() (string, error) {
 		rows, err := defense.Matrix(cfg.Seed)
 		if err != nil {
 			return "", err
@@ -107,9 +158,11 @@ func main() {
 			fmt.Fprintf(&s, "%-34s %s  %s\n", r.Name, result, r.Outcome.Detail)
 		}
 		return s.String(), nil
-	})
+	}); err != nil {
+		return err
+	}
 
-	section("Extension — online-HID detection latency", func() (string, error) {
+	if err := section("latency", "Extension — online-HID detection latency", func() (string, error) {
 		rows, err := experiments.DetectionLatency(cfg, 6)
 		if err != nil {
 			return "", err
@@ -117,9 +170,11 @@ func main() {
 		var s bytes.Buffer
 		experiments.RenderLatency(&s, rows)
 		return s.String(), nil
-	})
+	}); err != nil {
+		return err
+	}
 
-	section("Extension — variant recycling vs windowed HID", func() (string, error) {
+	if err := section("recycle", "Extension — variant recycling vs windowed HID", func() (string, error) {
 		rows, err := experiments.VariantRecycling(cfg, 600)
 		if err != nil {
 			return "", err
@@ -127,9 +182,11 @@ func main() {
 		var s bytes.Buffer
 		experiments.RenderRecycling(&s, rows)
 		return s.String(), nil
-	})
+	}); err != nil {
+		return err
+	}
 
-	section("Extension — pointwise detectors vs committee on a diluted variant", func() (string, error) {
+	if err := section("ensemble", "Extension — pointwise detectors vs committee on a diluted variant", func() (string, error) {
 		rows, err := experiments.EnsembleComparison(cfg)
 		if err != nil {
 			return "", err
@@ -137,9 +194,11 @@ func main() {
 		var s bytes.Buffer
 		experiments.RenderEnsemble(&s, rows)
 		return s.String(), nil
-	})
+	}); err != nil {
+		return err
+	}
 
-	section("Extension — run-level alarm policies", func() (string, error) {
+	if err := section("alarms", "Extension — run-level alarm policies", func() (string, error) {
 		rows, err := experiments.RunLevelDetection(cfg, nil, 6)
 		if err != nil {
 			return "", err
@@ -147,20 +206,21 @@ func main() {
 		var s bytes.Buffer
 		experiments.RenderAlarms(&s, rows)
 		return s.String(), nil
-	})
+	}); err != nil {
+		return err
+	}
 
 	fmt.Fprintf(&b, "## Thresholds\n\nEvasion ≤ %.0f%% accuracy; detection > %.0f%% (paper §II-E).\n",
 		100*hid.EvadeThreshold, 100*hid.DetectThreshold)
 
 	if err := os.MkdirAll(dirOf(*out), 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
+		return err
 	}
 	if err := os.WriteFile(*out, b.Bytes(), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", *out, b.Len())
+	fmt.Fprintf(stdout, "wrote %s (%d bytes)\n", *out, b.Len())
+	return nil
 }
 
 func dirOf(path string) string {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/perturb"
 	"repro/internal/pmu"
+	"repro/internal/sched"
 	"repro/internal/spectre"
 	"repro/internal/trace"
 )
@@ -117,14 +119,20 @@ func RunLevelDetection(cfg Config, policies []AlarmPolicy, crRuns int) ([]AlarmR
 	}
 
 	// Per-run prediction sequences: one fresh run per benign workload,
-	// crRuns diluted CR campaigns.
-	var benignSeqs [][]int
-	for i, w := range mibench.AllWithBackgrounds() {
-		samples, _, err := cfg.benignRun(w, cfg.Seed*53+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		benignSeqs = append(benignSeqs, classify(samples, cfg.Seed+int64(i)))
+	// crRuns diluted CR campaigns. Each run is an independent machine
+	// and the detector is frozen (Predict is read-only), so both run
+	// sets fan out across the pool.
+	benignRuns := mibench.AllWithBackgrounds()
+	benignSeqs, err := sched.Map(context.Background(), cfg.workers(), len(benignRuns),
+		func(_ context.Context, i int) ([]int, error) {
+			samples, _, err := cfg.benignRun(benignRuns[i], cfg.Seed*53+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			return classify(samples, cfg.Seed+int64(i)), nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	host, err := mibench.ByName("math")
 	if err != nil {
@@ -132,15 +140,18 @@ func RunLevelDetection(cfg Config, policies []AlarmPolicy, crRuns int) ([]AlarmR
 	}
 	variant := perturb.Paper()
 	variant.Delay = 120
-	var crSeqs [][]int
-	for r := 0; r < crRuns; r++ {
-		cr, err := cfg.crRun(host, AttackSpec{
-			Variant: spectre.V1BoundsCheck, Perturb: &variant, ProbeDelay: 350,
-		}, cfg.Seed*71+int64(r))
-		if err != nil {
-			return nil, err
-		}
-		crSeqs = append(crSeqs, classify(cr.Samples, cfg.Seed+100+int64(r)))
+	crSeqs, err := sched.Map(context.Background(), cfg.workers(), crRuns,
+		func(_ context.Context, r int) ([]int, error) {
+			cr, err := cfg.crRun(host, AttackSpec{
+				Variant: spectre.V1BoundsCheck, Perturb: &variant, ProbeDelay: 350,
+			}, cfg.Seed*71+int64(r))
+			if err != nil {
+				return nil, err
+			}
+			return classify(cr.Samples, cfg.Seed+100+int64(r)), nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	var rows []AlarmRow

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/mibench"
+)
+
+// The golden determinism contract of the parallel experiment engine:
+// for any experiment, a run with Workers=N must produce byte-identical
+// results to Workers=1, and two runs at the same (seed, workers) must be
+// identical. These tests are the enforcement mechanism behind
+// internal/sched's RNG-derivation rule; CI runs them under the race
+// detector with GOMAXPROCS=4.
+
+// detCfg is a deliberately tiny configuration so the Workers sweep stays
+// CI-cheap.
+func detCfg(workers int) Config {
+	cfg := testConfig()
+	cfg.SamplesPerClass = 40
+	cfg.Workers = workers
+	return cfg
+}
+
+func TestDeterminismCorpora(t *testing.T) {
+	build := func(workers int) (benignApps []string, benignX [][]float64, attackApps []string, attackX [][]float64) {
+		cfg := detCfg(workers)
+		b, err := cfg.BenignCorpus(mibench.Backgrounds(), 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := cfg.AttackCorpus(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Apps, b.Data.X, a.Apps, a.Data.X
+	}
+	bApps1, bX1, aApps1, aX1 := build(1)
+	bApps4, bX4, aApps4, aX4 := build(4)
+	if !reflect.DeepEqual(bApps1, bApps4) || !reflect.DeepEqual(bX1, bX4) {
+		t.Error("benign corpus differs between Workers=1 and Workers=4")
+	}
+	if !reflect.DeepEqual(aApps1, aApps4) || !reflect.DeepEqual(aX1, aX4) {
+		t.Error("attack corpus differs between Workers=1 and Workers=4")
+	}
+	_, bX4b, _, aX4b := build(4)
+	if !reflect.DeepEqual(bX4, bX4b) || !reflect.DeepEqual(aX4, aX4b) {
+		t.Error("two Workers=4 corpus builds with the same seed differ")
+	}
+}
+
+func TestDeterminismFig4(t *testing.T) {
+	run := func(workers int) ([]Fig4Row, []byte) {
+		rows, err := Fig4(detCfg(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		Fig4CSV(&csv, rows)
+		return rows, csv.Bytes()
+	}
+	rows1, csv1 := run(1)
+	rows4, csv4 := run(4)
+	if !reflect.DeepEqual(rows1, rows4) {
+		t.Errorf("Fig4 rows differ between Workers=1 and Workers=4:\n%v\nvs\n%v", rows1, rows4)
+	}
+	if !bytes.Equal(csv1, csv4) {
+		t.Error("Fig4 CSV output not byte-identical across worker counts")
+	}
+	rows4b, csv4b := run(4)
+	if !reflect.DeepEqual(rows4, rows4b) || !bytes.Equal(csv4, csv4b) {
+		t.Error("two Workers=4 Fig4 runs with the same seed differ")
+	}
+}
+
+func TestDeterminismTable1(t *testing.T) {
+	workloads := []mibench.Workload{
+		mibench.Math(2_000),
+		mibench.SHA1(150),
+	}
+	run := func(workers int) ([]Table1Row, []byte) {
+		cfg := detCfg(workers)
+		cfg.Reps = 2
+		rows, err := Table1For(cfg, workloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		Table1CSV(&csv, rows)
+		return rows, csv.Bytes()
+	}
+	rows1, csv1 := run(1)
+	rows4, csv4 := run(4)
+	if !reflect.DeepEqual(rows1, rows4) {
+		t.Errorf("Table1 rows differ between Workers=1 and Workers=4:\n%v\nvs\n%v", rows1, rows4)
+	}
+	if !bytes.Equal(csv1, csv4) {
+		t.Error("Table1 CSV output not byte-identical across worker counts")
+	}
+	rows4b, csv4b := run(4)
+	if !reflect.DeepEqual(rows4, rows4b) || !bytes.Equal(csv4, csv4b) {
+		t.Error("two Workers=4 Table1 runs with the same seed differ")
+	}
+}
+
+// TestDeterminismCampaign covers the stateful Fig. 5 path: the fan-out
+// inside each attempt must not leak scheduling order into detector
+// state.
+func TestDeterminismCampaign(t *testing.T) {
+	run := func(workers int) *CampaignResult {
+		cfg := detCfg(workers)
+		cfg.Attempts = 2
+		cfg.SamplesPerClass = 60
+		cfg.Classifiers = []string{"lr"}
+		res, err := Fig5(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r4 := run(1), run(4)
+	if !reflect.DeepEqual(r1.Plain, r4.Plain) {
+		t.Error("campaign plain panel differs between Workers=1 and Workers=4")
+	}
+	if !reflect.DeepEqual(r1.CR, r4.CR) {
+		t.Error("campaign CR panel differs between Workers=1 and Workers=4")
+	}
+	r4b := run(4)
+	if !reflect.DeepEqual(r4.CR, r4b.CR) {
+		t.Error("two Workers=4 campaigns with the same seed differ")
+	}
+}

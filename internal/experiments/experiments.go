@@ -9,11 +9,17 @@
 // EXPERIMENTS.md). The *shape* of each result — who wins, the evasion
 // thresholds, the degradation trends — is the reproduction target, not
 // absolute accuracy percentages on the authors' i5 testbed.
+//
+// Parallelism: every driver fans its independent machine runs out
+// through the internal/sched worker pool, with per-task seeds derived
+// via sched.DeriveSeed so results are byte-identical for any Workers
+// setting (the golden determinism tests enforce this).
 package experiments
 
 import (
+	"context"
+
 	"fmt"
-	"math/rand"
 
 	"repro/internal/cpu"
 	"repro/internal/gadget"
@@ -22,6 +28,7 @@ import (
 	"repro/internal/perturb"
 	"repro/internal/pmu"
 	"repro/internal/rop"
+	"repro/internal/sched"
 	"repro/internal/spectre"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -63,7 +70,16 @@ type Config struct {
 	// (the paper iterates 100 times on hardware; layout randomisation
 	// is the simulator's run-to-run variation). Zero means 3.
 	Reps int
+	// Workers bounds the experiment engine's fan-out: the number of
+	// simulated machines run concurrently. Zero or negative selects
+	// runtime.GOMAXPROCS(0). Results are byte-identical for every
+	// value — parallelism never changes the numbers, only the
+	// wall-clock.
+	Workers int
 }
+
+// workers resolves the configured fan-out width.
+func (cfg Config) workers() int { return sched.Workers(cfg.Workers) }
 
 // DefaultConfig returns the configuration used by the cmd tools.
 func DefaultConfig() Config {
@@ -327,32 +343,49 @@ func CREvalSet(cfg Config, cr *CRResult, benign *trace.Set) (*trace.Set, error) 
 
 // BenignCorpus profiles the workload list with per-run noise and layout
 // variation until ~total samples are collected (the paper's benign
-// class: the hosts plus other applications running on the system).
+// class: the hosts plus other applications running on the system). The
+// workloads fan out across the worker pool; each workload's repetition
+// seeds derive from (Seed, workload index, rep), so the corpus is
+// byte-identical for any Workers setting.
 func (cfg Config) BenignCorpus(workloads []mibench.Workload, total int) (*trace.Set, error) {
 	set := trace.NewSet(pmu.AllEvents())
 	if len(workloads) == 0 || total <= 0 {
 		return set, nil
 	}
 	quota := (total + len(workloads) - 1) / len(workloads)
-	seed := cfg.Seed * 7919
-	for _, w := range workloads {
-		got := 0
-		for rep := 0; got < quota && rep < 200; rep++ {
-			seed++
-			samples, _, err := cfg.benignRun(w, seed)
-			if err != nil {
-				return nil, err
+	parts, err := sched.Map(context.Background(), cfg.workers(), len(workloads),
+		func(_ context.Context, i int) (*trace.Set, error) {
+			w := workloads[i]
+			part := trace.NewSet(pmu.AllEvents())
+			base := sched.DeriveSeed(cfg.Seed*7919, uint64(i))
+			got := 0
+			for rep := 0; got < quota && rep < 200; rep++ {
+				seed := sched.DeriveSeed(base, uint64(rep))
+				samples, _, err := cfg.benignRun(w, seed)
+				if err != nil {
+					return nil, err
+				}
+				samples = subsample(samples, quota-got)
+				part.AddNoisy(w.Name, trace.LabelBenign, samples, cfg.NoiseSigma, seed)
+				got += len(samples)
 			}
-			samples = subsample(samples, quota-got)
-			set.AddNoisy(w.Name, trace.LabelBenign, samples, cfg.NoiseSigma, seed)
-			got += len(samples)
+			return part, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		if err := set.Merge(part); err != nil {
+			return nil, err
 		}
 	}
 	return set, nil
 }
 
 // AttackCorpus profiles the standalone Spectre variants (the traces the
-// HID is trained on; the paper averages over the variant set).
+// HID is trained on; the paper averages over the variant set). Variants
+// fan out like BenignCorpus workloads, with per-(variant, rep) derived
+// seeds.
 func (cfg Config) AttackCorpus(total int) (*trace.Set, error) {
 	set := trace.NewSet(pmu.AllEvents())
 	variants := spectre.Variants()
@@ -360,18 +393,30 @@ func (cfg Config) AttackCorpus(total int) (*trace.Set, error) {
 		return set, nil
 	}
 	quota := (total + len(variants) - 1) / len(variants)
-	seed := cfg.Seed * 104729
-	for _, v := range variants {
-		got := 0
-		for rep := 0; got < quota && rep < 200; rep++ {
-			seed++
-			samples, _, err := cfg.standaloneRun(AttackSpec{Variant: v}, seed)
-			if err != nil {
-				return nil, err
+	parts, err := sched.Map(context.Background(), cfg.workers(), len(variants),
+		func(_ context.Context, i int) (*trace.Set, error) {
+			v := variants[i]
+			part := trace.NewSet(pmu.AllEvents())
+			base := sched.DeriveSeed(cfg.Seed*104729, uint64(i))
+			got := 0
+			for rep := 0; got < quota && rep < 200; rep++ {
+				seed := sched.DeriveSeed(base, uint64(rep))
+				samples, _, err := cfg.standaloneRun(AttackSpec{Variant: v}, seed)
+				if err != nil {
+					return nil, err
+				}
+				samples = subsample(samples, quota-got)
+				part.AddNoisy("spectre-"+v.String(), trace.LabelAttack, samples, cfg.NoiseSigma, seed)
+				got += len(samples)
 			}
-			samples = subsample(samples, quota-got)
-			set.AddNoisy("spectre-"+v.String(), trace.LabelAttack, samples, cfg.NoiseSigma, seed)
-			got += len(samples)
+			return part, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		if err := set.Merge(part); err != nil {
+			return nil, err
 		}
 	}
 	return set, nil
@@ -398,7 +443,9 @@ func subsample(samples []pmu.Sample, n int) []pmu.Sample {
 // evalMix builds a per-attempt evaluation set: the attempt's attack
 // samples plus a fresh benign batch at roughly 4:1 attack:benign — the
 // system keeps running benign applications while the attack executes, so
-// the HID judges a mixed stream.
+// the HID judges a mixed stream. The sampling RNG follows the engine's
+// derivation rule (a private stream per call), so concurrent evalMix
+// calls from pool tasks never share random state.
 func (cfg Config) evalMix(attack *trace.Set, benign *trace.Set, seed int64) *trace.Set {
 	out := trace.NewSet(attack.Events)
 	_ = out.Merge(attack)
@@ -406,7 +453,7 @@ func (cfg Config) evalMix(attack *trace.Set, benign *trace.Set, seed int64) *tra
 	if want < 1 {
 		want = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := sched.Rand(seed, 0)
 	n := benign.Len()
 	for k := 0; k < want && n > 0; k++ {
 		i := rng.Intn(n)

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mibench"
 	"repro/internal/ml"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -35,41 +37,52 @@ type Fig4Row struct {
 // feature count, train the HID (MLP, like the paper's primary detector)
 // on host-vs-Spectre traces and report test accuracy. Expected shape:
 // >80-90% for sizes >= 2, collapse toward chance at size 1.
+//
+// Both stages fan out: the per-host benign corpora build concurrently
+// (each corpus is itself parallel over its workload list), then every
+// (feature size, host) training cell runs as an independent pool task.
+// Row order and values match the sequential sweep exactly.
 func Fig4(cfg Config) ([]Fig4Row, error) {
 	attack, err := cfg.AttackCorpus(cfg.SamplesPerClass)
 	if err != nil {
 		return nil, fmt.Errorf("fig4: attack corpus: %w", err)
 	}
 	hosts := Fig4Hosts()
-	benign := make([]*trace.Set, len(hosts))
-	for i, w := range hosts {
-		// The benign class is the host plus the background applications
-		// (the paper's "browsers, text editors, etc." profiling scope).
-		apps := append([]mibench.Workload{w}, mibench.Backgrounds()...)
-		b, err := cfg.BenignCorpus(apps, cfg.SamplesPerClass)
-		if err != nil {
-			return nil, fmt.Errorf("fig4: benign corpus %s: %w", w.Name, err)
-		}
-		benign[i] = b
+	benign, err := sched.Map(context.Background(), cfg.workers(), len(hosts),
+		func(_ context.Context, i int) (*trace.Set, error) {
+			// The benign class is the host plus the background applications
+			// (the paper's "browsers, text editors, etc." profiling scope).
+			apps := append([]mibench.Workload{hosts[i]}, mibench.Backgrounds()...)
+			b, err := cfg.BenignCorpus(apps, cfg.SamplesPerClass)
+			if err != nil {
+				return nil, fmt.Errorf("fig4: benign corpus %s: %w", hosts[i].Name, err)
+			}
+			return b, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
-	var rows []Fig4Row
-	for _, size := range Fig4FeatureSizes {
-		pAttack := attack.Project(size)
-		for i, w := range hosts {
+	rows, err := sched.Map(context.Background(), cfg.workers(), len(Fig4FeatureSizes)*len(hosts),
+		func(_ context.Context, cell int) (Fig4Row, error) {
+			size := Fig4FeatureSizes[cell/len(hosts)]
+			i := cell % len(hosts)
+			w := hosts[i]
 			full := benign[i].Project(size)
-			if err := full.Merge(pAttack); err != nil {
-				return nil, err
+			if err := full.Merge(attack.Project(size)); err != nil {
+				return Fig4Row{}, err
 			}
 			train, test := full.Data.Split(0.7, cfg.Seed+int64(size)*31+int64(i))
 			clf := ml.NewMLP(cfg.Seed + int64(i))
 			var sc ml.Scaler
 			if err := clf.Fit(sc.FitTransform(train.X), train.Y); err != nil {
-				return nil, fmt.Errorf("fig4: fit %s/%d: %w", w.Name, size, err)
+				return Fig4Row{}, fmt.Errorf("fig4: fit %s/%d: %w", w.Name, size, err)
 			}
 			acc := ml.EvaluateAccuracy(clf, sc.Transform(test.X), test.Y)
-			rows = append(rows, Fig4Row{Host: w.Name, FeatureSize: size, Accuracy: acc})
-		}
+			return Fig4Row{Host: w.Name, FeatureSize: size, Accuracy: acc}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -9,8 +10,10 @@ import (
 	"repro/internal/ml"
 	"repro/internal/perturb"
 	"repro/internal/pmu"
+	"repro/internal/sched"
 	"repro/internal/spectre"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 // AttemptPoint is one plotted point of Figs. 5/6: a detector's accuracy
@@ -116,19 +119,72 @@ func (cfg Config) campaign(online bool) (*CampaignResult, error) {
 	variants := spectre.Variants()
 	res := &CampaignResult{Online: online}
 
+	// attemptSims carries one attempt's fanned-out simulations: task 0
+	// is the panel-(a) standalone run, tasks 1..len(crStates) the
+	// per-detector CR runs.
+	type attemptSims struct {
+		samples []pmu.Sample
+		machine *vm.Machine
+		cr      *CRResult
+	}
+
 	for attempt := 1; attempt <= cfg.Attempts; attempt++ {
 		seed := cfg.Seed*1_000_003 + int64(attempt)
 
 		// Panel (a): plain standalone Spectre, variants rotating across
 		// attempts (the paper averages over the variant set).
 		spec := AttackSpec{Variant: variants[(attempt-1)%len(variants)]}
-		samples, m, err := cfg.standaloneRun(spec, seed)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: attempt %d standalone: %w", attempt, err)
+
+		// Panel (b) specs: offline HIDs face the single static
+		// Algorithm-2 variant with the dispersion-delay schedule ramping
+		// per attempt (no feedback needed against a detector that never
+		// learns); online HIDs face per-detector dynamic mutation. Each
+		// spec reads only state fixed at the start of the attempt, so
+		// they are captured here and the simulations — the dominant
+		// wall-clock cost — fan out across the pool. Detector scoring,
+		// observation and mutation stay strictly sequential below.
+		crSpecs := make([]AttackSpec, len(crStates))
+		crVariants := make([]perturb.Params, len(crStates))
+		for j, st := range crStates {
+			variant := st.variant
+			var pd int64
+			if online {
+				pd = st.probeDelay
+			} else {
+				variant = perturb.Paper()
+				variant.Delay = int64(attempt) * 30
+				pd = int64(attempt-1) * 90
+			}
+			crVariants[j] = variant
+			crSpecs[j] = AttackSpec{
+				Variant:    variants[(attempt-1)%len(variants)],
+				Perturb:    &crVariants[j],
+				ProbeDelay: pd,
+			}
 		}
-		recovered := m.Output.String() == cfg.Secret
+		sims, err := sched.Map(context.Background(), cfg.workers(), 1+len(crStates),
+			func(_ context.Context, t int) (attemptSims, error) {
+				if t == 0 {
+					samples, m, err := cfg.standaloneRun(spec, seed)
+					if err != nil {
+						return attemptSims{}, fmt.Errorf("campaign: attempt %d standalone: %w", attempt, err)
+					}
+					return attemptSims{samples: samples, machine: m}, nil
+				}
+				st := crStates[t-1]
+				cr, err := cfg.crRun(host, crSpecs[t-1], seed+int64(len(st.det.Name())))
+				if err != nil {
+					return attemptSims{}, fmt.Errorf("campaign: attempt %d cr (%s): %w", attempt, st.det.Name(), err)
+				}
+				return attemptSims{cr: cr}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+
+		recovered := sims[0].machine.Output.String() == cfg.Secret
 		aSet := trace.NewSet(pmu.AllEvents())
-		aSet.AddNoisy("spectre", trace.LabelAttack, samples, cfg.NoiseSigma, seed)
+		aSet.AddNoisy("spectre", trace.LabelAttack, sims[0].samples, cfg.NoiseSigma, seed)
 		eval := cfg.evalMix(aSet.Project(cfg.FeatureSize), benignEval, seed)
 		for _, st := range plainStates {
 			acc := st.det.Accuracy(eval.Data)
@@ -146,29 +202,8 @@ func (cfg Config) campaign(online bool) (*CampaignResult, error) {
 			}
 		}
 
-		// Panel (b): CR-Spectre. Offline HIDs face the single static
-		// Algorithm-2 variant with the dispersion-delay schedule ramping
-		// per attempt (no feedback needed against a detector that never
-		// learns); online HIDs face per-detector dynamic mutation.
-		for _, st := range crStates {
-			variant := st.variant
-			var pd int64
-			if online {
-				pd = st.probeDelay
-			} else {
-				variant = perturb.Paper()
-				variant.Delay = int64(attempt) * 30
-				pd = int64(attempt-1) * 90
-			}
-			crSpec := AttackSpec{
-				Variant:    variants[(attempt-1)%len(variants)],
-				Perturb:    &variant,
-				ProbeDelay: pd,
-			}
-			cr, err := cfg.crRun(host, crSpec, seed+int64(len(st.det.Name())))
-			if err != nil {
-				return nil, fmt.Errorf("campaign: attempt %d cr (%s): %w", attempt, st.det.Name(), err)
-			}
+		for j, st := range crStates {
+			cr := sims[1+j].cr
 			crSet := trace.NewSet(pmu.AllEvents())
 			crSet.AddNoisy("cr-spectre", trace.LabelAttack, cr.Samples, cfg.NoiseSigma, seed)
 			crEval := cfg.evalMix(crSet.Project(cfg.FeatureSize), benignEval, seed+7)
@@ -178,7 +213,7 @@ func (cfg Config) campaign(online bool) (*CampaignResult, error) {
 				Attempt:    attempt,
 				Accuracy:   acc,
 				Verdict:    hid.Judge(acc),
-				Variant:    variant.String(),
+				Variant:    crVariants[j].String(),
 				Recovered:  cr.Recovered == cfg.Secret && cr.Injected,
 			})
 			if st.online != nil {

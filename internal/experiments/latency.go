@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/perturb"
 	"repro/internal/pmu"
+	"repro/internal/sched"
 	"repro/internal/spectre"
 	"repro/internal/trace"
 )
@@ -55,49 +57,53 @@ func DetectionLatency(cfg Config, maxBatches int) ([]LatencyRow, error) {
 		return nil, err
 	}
 
-	var rows []LatencyRow
-	for i, name := range cfg.Classifiers {
-		clf, ok := ml.ByName(name, cfg.Seed+int64(i))
-		if !ok {
-			return nil, fmt.Errorf("latency: unknown classifier %q", name)
-		}
-		det := hid.NewOnline(clf)
-		if err := det.Train(train.Data); err != nil {
-			return nil, err
-		}
-		// A fresh variant the detector has never observed, with heavy
-		// dispersion so it starts in evading territory.
-		rng := rand.New(rand.NewSource(cfg.Seed + 7000 + int64(i)))
-		variant := perturb.Paper().Mutate(rng)
-		variant.Delay = 100 + rng.Int63n(100)
-		pd := int64(200 + rng.Int63n(200))
+	// Each classifier's adaptation race is self-contained (own detector,
+	// own variant, own seed stream), so the classifiers fan out across
+	// the pool; within one classifier the observe/retrain rounds remain
+	// inherently sequential.
+	return sched.Map(context.Background(), cfg.workers(), len(cfg.Classifiers),
+		func(_ context.Context, i int) (LatencyRow, error) {
+			name := cfg.Classifiers[i]
+			clf, ok := ml.ByName(name, cfg.Seed+int64(i))
+			if !ok {
+				return LatencyRow{}, fmt.Errorf("latency: unknown classifier %q", name)
+			}
+			det := hid.NewOnline(clf)
+			if err := det.Train(train.Data); err != nil {
+				return LatencyRow{}, err
+			}
+			// A fresh variant the detector has never observed, with heavy
+			// dispersion so it starts in evading territory.
+			rng := rand.New(rand.NewSource(cfg.Seed + 7000 + int64(i)))
+			variant := perturb.Paper().Mutate(rng)
+			variant.Delay = 100 + rng.Int63n(100)
+			pd := int64(200 + rng.Int63n(200))
 
-		row := LatencyRow{Classifier: name, Variant: variant.String(), BatchesToDetect: -1}
-		for batch := 1; batch <= maxBatches; batch++ {
-			cr, err := cfg.crRun(host, AttackSpec{
-				Variant:    spectre.Variants()[(batch-1)%len(spectre.Variants())],
-				Perturb:    &variant,
-				ProbeDelay: pd,
-			}, cfg.Seed*31+int64(batch)+int64(i)*977)
-			if err != nil {
-				return nil, err
+			row := LatencyRow{Classifier: name, Variant: variant.String(), BatchesToDetect: -1}
+			for batch := 1; batch <= maxBatches; batch++ {
+				cr, err := cfg.crRun(host, AttackSpec{
+					Variant:    spectre.Variants()[(batch-1)%len(spectre.Variants())],
+					Perturb:    &variant,
+					ProbeDelay: pd,
+				}, cfg.Seed*31+int64(batch)+int64(i)*977)
+				if err != nil {
+					return LatencyRow{}, err
+				}
+				crSet := trace.NewSet(pmu.AllEvents())
+				crSet.AddNoisy("cr", trace.LabelAttack, cr.Samples, cfg.NoiseSigma, cfg.Seed+int64(batch))
+				eval := cfg.evalMix(crSet.Project(cfg.FeatureSize), benignEval, cfg.Seed+int64(batch)*13)
+				acc := det.Accuracy(eval.Data)
+				row.Trajectory = append(row.Trajectory, acc)
+				if acc > hid.DetectThreshold && row.BatchesToDetect < 0 {
+					row.BatchesToDetect = batch
+					break
+				}
+				if err := det.Observe(eval.Data); err != nil {
+					return LatencyRow{}, err
+				}
 			}
-			crSet := trace.NewSet(pmu.AllEvents())
-			crSet.AddNoisy("cr", trace.LabelAttack, cr.Samples, cfg.NoiseSigma, cfg.Seed+int64(batch))
-			eval := cfg.evalMix(crSet.Project(cfg.FeatureSize), benignEval, cfg.Seed+int64(batch)*13)
-			acc := det.Accuracy(eval.Data)
-			row.Trajectory = append(row.Trajectory, acc)
-			if acc > hid.DetectThreshold && row.BatchesToDetect < 0 {
-				row.BatchesToDetect = batch
-				break
-			}
-			if err := det.Observe(eval.Data); err != nil {
-				return nil, err
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			return row, nil
+		})
 }
 
 // RenderLatency prints the detection-latency table.

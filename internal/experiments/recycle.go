@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/perturb"
 	"repro/internal/pmu"
+	"repro/internal/sched"
 	"repro/internal/spectre"
 	"repro/internal/trace"
 )
@@ -114,14 +116,21 @@ func VariantRecycling(cfg Config, window int) ([]RecycleRow, error) {
 
 	// Phase 2: the attacker switches to the plain decoy; the defender
 	// keeps observing the stream (benign + decoy), aging A's traces out
-	// of the bounded window.
-	for round := 0; round < 6; round++ {
+	// of the bounded window. The decoy simulations don't depend on
+	// detector state, so they fan out across the pool; observation then
+	// replays them in round order.
+	const decoyRounds = 6
+	decoyBase := seed
+	decoys, err := sched.Map(context.Background(), cfg.workers(), decoyRounds,
+		func(_ context.Context, r int) (ml.Dataset, error) {
+			return runEval(nil, 0, decoyBase+1+int64(r))
+		})
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < decoyRounds; round++ {
 		seed++
-		evalB, err := runEval(nil, 0, seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := det.Observe(evalB); err != nil {
+		if err := det.Observe(decoys[round]); err != nil {
 			return nil, err
 		}
 		// Ambient benign traffic also flows through the window.
@@ -130,12 +139,11 @@ func VariantRecycling(cfg Config, window int) ([]RecycleRow, error) {
 			return nil, err
 		}
 	}
-	seedB := seed
-	evalB, err := runEval(nil, 0, seedB)
-	if err != nil {
-		return nil, err
-	}
-	record("decoy established", det.Accuracy(evalB))
+	// The last decoy batch, rescored after all observations, is what
+	// the analyst sees once the decoy is established (same seed — and
+	// therefore identical data — as the sequential implementation's
+	// re-run).
+	record("decoy established", det.Accuracy(decoys[decoyRounds-1]))
 
 	// Phase 3: recycle variant A after its traces aged out.
 	seed++

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mibench"
 	"repro/internal/perturb"
+	"repro/internal/sched"
 	"repro/internal/spectre"
 )
 
@@ -47,54 +49,58 @@ func Table1(cfg Config) ([]Table1Row, error) {
 }
 
 // Table1For runs the overhead measurement over a custom workload list.
+// Every benchmark row is an independent pool task, and within a row the
+// per-cell repetitions fan out too; the per-rep seed schedule matches
+// the sequential implementation, so the table is byte-identical for any
+// Workers setting.
 func Table1For(cfg Config, workloads []mibench.Workload) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, w := range workloads {
-		row := Table1Row{Benchmark: w.Name}
+	return sched.Map(context.Background(), cfg.workers(), len(workloads),
+		func(_ context.Context, i int) (Table1Row, error) {
+			w := workloads[i]
+			row := Table1Row{Benchmark: w.Name}
 
-		orig, err := cfg.avgIPC(func(seed int64) (float64, error) {
-			_, m, err := cfg.benignRun(w, seed)
+			orig, err := cfg.avgIPC(func(seed int64) (float64, error) {
+				_, m, err := cfg.benignRun(w, seed)
+				if err != nil {
+					return 0, err
+				}
+				return m.CPU.IPC(), nil
+			})
 			if err != nil {
-				return 0, err
+				return row, fmt.Errorf("table1 %s original: %w", w.Name, err)
 			}
-			return m.CPU.IPC(), nil
+			row.IPCOriginal = orig
+
+			// Baseline: ROP-injected Spectre without perturbation.
+			base, err := cfg.avgCRIPC(w, AttackSpec{Variant: spectre.V1BoundsCheck})
+			if err != nil {
+				return row, fmt.Errorf("table1 %s baseline: %w", w.Name, err)
+			}
+
+			// Offline mode: the single static Algorithm-2 variant.
+			offV := perturb.Paper()
+			off, err := cfg.avgCRIPC(w, AttackSpec{Variant: spectre.V1BoundsCheck, Perturb: &offV})
+			if err != nil {
+				return row, fmt.Errorf("table1 %s offline: %w", w.Name, err)
+			}
+			row.IPCOffline = off
+
+			// Online mode: a mutated variant with dispersion, as the
+			// adaptive campaign would deploy.
+			onV := perturb.Scaled(2)
+			onV.Delay = 60
+			on, err := cfg.avgCRIPC(w, AttackSpec{Variant: spectre.V1BoundsCheck, Perturb: &onV, ProbeDelay: 40})
+			if err != nil {
+				return row, fmt.Errorf("table1 %s online: %w", w.Name, err)
+			}
+			row.IPCOnline = on
+
+			if base > 0 {
+				row.OverheadOffline = (base - off) / base
+				row.OverheadOnline = (base - on) / base
+			}
+			return row, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s original: %w", w.Name, err)
-		}
-		row.IPCOriginal = orig
-
-		// Baseline: ROP-injected Spectre without perturbation.
-		base, err := cfg.avgCRIPC(w, AttackSpec{Variant: spectre.V1BoundsCheck})
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s baseline: %w", w.Name, err)
-		}
-
-		// Offline mode: the single static Algorithm-2 variant.
-		offV := perturb.Paper()
-		off, err := cfg.avgCRIPC(w, AttackSpec{Variant: spectre.V1BoundsCheck, Perturb: &offV})
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s offline: %w", w.Name, err)
-		}
-		row.IPCOffline = off
-
-		// Online mode: a mutated variant with dispersion, as the
-		// adaptive campaign would deploy.
-		onV := perturb.Scaled(2)
-		onV.Delay = 60
-		on, err := cfg.avgCRIPC(w, AttackSpec{Variant: spectre.V1BoundsCheck, Perturb: &onV, ProbeDelay: 40})
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s online: %w", w.Name, err)
-		}
-		row.IPCOnline = on
-
-		if base > 0 {
-			row.OverheadOffline = (base - off) / base
-			row.OverheadOnline = (base - on) / base
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
 }
 
 func (cfg Config) avgIPC(run func(seed int64) (float64, error)) (float64, error) {
@@ -102,12 +108,17 @@ func (cfg Config) avgIPC(run func(seed int64) (float64, error)) (float64, error)
 	if reps <= 0 {
 		reps = 3
 	}
+	vals, err := sched.Map(context.Background(), cfg.workers(), reps,
+		func(_ context.Context, r int) (float64, error) {
+			return run(cfg.Seed + int64(r)*337)
+		})
+	if err != nil {
+		return 0, err
+	}
+	// Accumulate in rep order: summation order is part of the
+	// byte-identical contract.
 	var sum float64
-	for r := 0; r < reps; r++ {
-		v, err := run(cfg.Seed + int64(r)*337)
-		if err != nil {
-			return 0, err
-		}
+	for _, v := range vals {
 		sum += v
 	}
 	return sum / float64(reps), nil

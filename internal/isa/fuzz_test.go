@@ -1,10 +1,20 @@
-package isa
+// External test package: the gadget-scanner fuzz target needs
+// internal/gadget, which itself imports isa — an in-package test would
+// be an import cycle. Everything exercised here is exported API.
+package isa_test
 
 import (
+	"bytes"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/gadget"
+	"repro/internal/isa"
+	"repro/internal/mibench"
+	"repro/internal/rop"
 )
 
 // TestQuickAssemblerNeverPanics feeds the assembler pseudo-random token
@@ -31,16 +41,16 @@ func TestQuickAssemblerNeverPanics(t *testing.T) {
 			}
 		}
 		src := b.String()
-		mod, err := func() (m *Module, err error) {
+		mod, err := func() (m *isa.Module, err error) {
 			defer func() {
 				if r := recover(); r != nil {
 					t.Fatalf("assembler panicked on %q: %v", src, r)
 				}
 			}()
-			return Assemble(src)
+			return isa.Assemble(src)
 		}()
 		if err != nil {
-			_, ok := err.(*AsmError)
+			_, ok := err.(*isa.AsmError)
 			return ok
 		}
 		// Assembled: it must also link cleanly.
@@ -56,17 +66,17 @@ func TestQuickAssemblerNeverPanics(t *testing.T) {
 func TestQuickDecodeNeverPanics(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	f := func() bool {
-		var buf [InstrSize]byte
+		var buf [isa.InstrSize]byte
 		for i := range buf {
 			buf[i] = byte(rng.Intn(256))
 		}
-		in, err := Decode(buf[:])
+		in, err := isa.Decode(buf[:])
 		if err != nil {
 			return true
 		}
 		// Valid decodes must re-encode to the identical bytes
 		// (canonical encoding).
-		var out [InstrSize]byte
+		var out [isa.InstrSize]byte
 		if err := in.Encode(out[:]); err != nil {
 			return false
 		}
@@ -91,10 +101,74 @@ func TestQuickReadImageNeverPanics(t *testing.T) {
 		if n >= 4 && rng.Intn(2) == 0 {
 			copy(buf, "SIMX")
 		}
-		_, err := ReadImage(strings.NewReader(string(buf)))
+		_, err := isa.ReadImage(strings.NewReader(string(buf)))
 		return err != nil // random bytes must never parse as a full image
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzGadgetScan drives the ROP gadget scanner with serialized images —
+// seeded from real assembled MiBench host images, then mutated by the
+// fuzzer. Whatever ReadImage accepts, Scan and the catalog queries must
+// handle without panicking, and every reported gadget must satisfy the
+// scanner's documented invariants.
+func FuzzGadgetScan(f *testing.F) {
+	for _, w := range []mibench.Workload{
+		mibench.Math(100),
+		mibench.SHA1(10),
+		mibench.Bitcount("bitcount_seed", 500),
+	} {
+		mod, err := w.HostModule(rop.HostOptions{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		img, err := mod.Link(0x100000)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := img.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("SIMX"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := isa.ReadImage(bytes.NewReader(data))
+		if err != nil {
+			return // malformed images are the reader's problem, tested above
+		}
+		for _, maxLen := range []int{1, 3, 5} {
+			gs := gadget.Scan(img, maxLen)
+			if !sort.SliceIsSorted(gs, func(a, b int) bool { return gs[a].Addr < gs[b].Addr }) {
+				t.Errorf("maxLen=%d: gadgets not sorted by address", maxLen)
+			}
+			for _, g := range gs {
+				if g.Len() == 0 || g.Len() > maxLen {
+					t.Errorf("maxLen=%d: gadget at %#x has %d instructions", maxLen, g.Addr, g.Len())
+				}
+				if last := g.Instrs[len(g.Instrs)-1]; last.Op != isa.RET {
+					t.Errorf("maxLen=%d: gadget at %#x does not end in RET (op %v)", maxLen, g.Addr, last.Op)
+				}
+				_ = g.String() // must not panic on any decoded sequence
+			}
+		}
+		// The catalog layer must stay consistent with the raw scan.
+		cat := gadget.ScanAndCatalog(img, 3)
+		if got, want := len(cat.All()), len(gadget.Scan(img, 3)); got != want {
+			t.Errorf("catalog holds %d gadgets, scan found %d", got, want)
+		}
+		for r := uint8(0); r < 4; r++ {
+			if g, ok := cat.PopReg(r); ok && g.Len() != 2 {
+				t.Errorf("PopReg(%d) returned a %d-instruction gadget", r, g.Len())
+			}
+		}
+		if g, ok := cat.RetOnly(); ok && g.Len() != 1 {
+			t.Errorf("RetOnly returned a %d-instruction gadget", g.Len())
+		}
+		cat.Syscall()
+	})
 }

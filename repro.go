@@ -64,6 +64,9 @@ type Options struct {
 	Classifiers []string
 	// Reps is the Table I repetition count per cell.
 	Reps int
+	// Workers bounds the experiment engine's parallelism (0 = all
+	// cores). Results are byte-identical for any value.
+	Workers int
 }
 
 func (o Options) config() experiments.Config {
@@ -94,6 +97,9 @@ func (o Options) config() experiments.Config {
 	}
 	if o.Reps > 0 {
 		cfg.Reps = o.Reps
+	}
+	if o.Workers > 0 {
+		cfg.Workers = o.Workers
 	}
 	return cfg
 }
@@ -188,6 +194,9 @@ type AttackOptions struct {
 	Detector string
 	// Seed randomises layout (ASLR) and the detector's initialisation.
 	Seed int64
+	// Workers bounds the corpus-building parallelism when a Detector is
+	// set (0 = all cores). Results are byte-identical for any value.
+	Workers int
 }
 
 // AttackReport describes what one end-to-end CR-Spectre run did.
@@ -239,6 +248,9 @@ func RunAttack(o AttackOptions) (*AttackReport, error) {
 	cfg.Secret = o.Secret
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
+	}
+	if o.Workers > 0 {
+		cfg.Workers = o.Workers
 	}
 	spec := experiments.AttackSpec{Variant: variant}
 	if o.Perturbed {
