@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/prof"
 )
 
 // errSecretWrong reports a completed run that failed to recover the
@@ -39,9 +40,12 @@ func main() {
 
 // run executes the tool against args, writing the report to stdout. It
 // is the testable core of main.
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("crspectre", flag.ContinueOnError)
 	var (
+		cpuprofile = fs.String("cpuprofile", "", "write a host CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a host heap profile to this file on exit")
+
 		host     = fs.String("host", "math", "host workload to hijack (see -list)")
 		variant  = fs.String("variant", "v1-bounds-check", "spectre variant: "+strings.Join(repro.Variants(), ", "))
 		secret   = fs.String("secret", "SPECTRE_PoC_42", "secret planted in the host")
@@ -54,6 +58,16 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	if *list {
 		for _, w := range repro.Workloads() {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 // errUsage marks a bad invocation (exit code 2, like flag errors).
@@ -45,25 +46,37 @@ func main() {
 
 // run executes the tool against args, writing results to stdout. It is
 // the testable core of main.
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "", "figure to regenerate: 4, 5, 6")
-		table   = fs.String("table", "", "table to regenerate: 1")
-		latency = fs.Bool("latency", false, "run the detection-latency extension experiment")
-		recycle = fs.Bool("recycle", false, "run the variant-recycling extension experiment (windowed HID)")
-		alarms  = fs.Bool("alarms", false, "run the run-level alarm-policy extension experiment")
-		all     = fs.Bool("all", false, "regenerate every figure and table")
-		samples = fs.Int("samples", 400, "training samples per class (paper: 2000)")
-		att     = fs.Int("attempts", 10, "attack attempts per campaign")
-		seed    = fs.Int64("seed", 1, "pipeline seed")
-		reps    = fs.Int("reps", 0, "Table I repetitions per cell (0 = default 3)")
-		workers = fs.Int("workers", 0, "parallel simulated machines (0 = all cores); results are identical for any value")
-		csvdir  = fs.String("csvdir", "", "also write CSV files into this directory")
+		cpuprofile = fs.String("cpuprofile", "", "write a host CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a host heap profile to this file on exit")
+		fig        = fs.String("fig", "", "figure to regenerate: 4, 5, 6")
+		table      = fs.String("table", "", "table to regenerate: 1")
+		latency    = fs.Bool("latency", false, "run the detection-latency extension experiment")
+		recycle    = fs.Bool("recycle", false, "run the variant-recycling extension experiment (windowed HID)")
+		alarms     = fs.Bool("alarms", false, "run the run-level alarm-policy extension experiment")
+		all        = fs.Bool("all", false, "regenerate every figure and table")
+		samples    = fs.Int("samples", 400, "training samples per class (paper: 2000)")
+		att        = fs.Int("attempts", 10, "attack attempts per campaign")
+		seed       = fs.Int64("seed", 1, "pipeline seed")
+		reps       = fs.Int("reps", 0, "Table I repetitions per cell (0 = default 3)")
+		workers    = fs.Int("workers", 0, "parallel simulated machines (0 = all cores); results are identical for any value")
+		csvdir     = fs.String("csvdir", "", "also write CSV files into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	cfg := experiments.DefaultConfig()
 	cfg.SamplesPerClass = *samples

@@ -213,6 +213,12 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(&b, "## Thresholds\n\nEvasion ≤ %.0f%% accuracy; detection > %.0f%% (paper §II-E).\n",
 		100*hid.EvadeThreshold, 100*hid.DetectThreshold)
 
+	b.WriteString("\n## Simulator throughput\n\nHost-side benchmark numbers " +
+		"(before/after the predecode cache and memory fast paths) are " +
+		"tracked in [BENCH_simulator.json](../BENCH_simulator.json); the " +
+		"optimisation is timing-model neutral, so every figure above is " +
+		"unchanged by it.\n")
+
 	if err := os.MkdirAll(dirOf(*out), 0o755); err != nil {
 		return err
 	}

@@ -122,6 +122,14 @@ type CPU struct {
 	noiseNext uint64 // next cycle at which interference evicts a line
 	noiseLCG  uint64 // interference PRNG state
 
+	// icache is the host-side predecode cache (see predecode.go); genTab
+	// is the memory's live per-page write-generation view used for its
+	// coherence check. predecodeOff forces the uncached front end for
+	// differential tests; it must be set before execution starts.
+	icache       [icacheSize]icacheEntry
+	genTab       []uint64
+	predecodeOff bool
+
 	instret     uint64
 	loads       uint64
 	stores      uint64
@@ -148,6 +156,7 @@ func New(m *mem.Memory, cfg Config) *CPU {
 		Caches: caches,
 		BP:     bp,
 		cfg:    cfg,
+		genTab: m.PageGens(),
 	}
 	if cfg.NoisePeriod > 0 {
 		c.noiseNext = cfg.NoisePeriod

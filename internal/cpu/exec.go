@@ -24,13 +24,12 @@ func (c *CPU) Step() error {
 	if c.halted {
 		return ErrHalted
 	}
-	raw, err := c.Mem.Fetch(c.PC, isa.InstrSize)
-	if err != nil {
-		return &Fault{PC: c.PC, Err: err}
-	}
-	in, err := isa.Decode(raw)
-	if err != nil {
-		return &Fault{PC: c.PC, Err: err}
+	in, ok := c.fetchDecode(c.PC)
+	if !ok {
+		var err error
+		if in, err = c.fetchDecodeMiss(c.PC); err != nil {
+			return &Fault{PC: c.PC, Err: err}
+		}
 	}
 	pc := c.PC
 	if err := c.execute(in); err != nil {
@@ -66,6 +65,16 @@ func (c *CPU) Run(maxInstr uint64) error {
 // next is the fall-through PC for the current instruction.
 func (c *CPU) next() uint64 { return c.PC + isa.InstrSize }
 
+// aluRetire writes back an ALU result: cost cycles, rd ready at the new
+// cycle, PC advances to the fall-through. Tiny so it inlines into every
+// expanded ALU case of execute.
+func (c *CPU) aluRetire(rd uint8, v, cost uint64) {
+	c.Regs[rd] = v
+	c.Cycle += cost
+	c.regReady[rd] = c.Cycle
+	c.PC += isa.InstrSize
+}
+
 func (c *CPU) execute(in isa.Instruction) error {
 	switch in.Op {
 	case isa.NOP:
@@ -89,28 +98,99 @@ func (c *CPU) execute(in isa.Instruction) error {
 		c.regReady[in.Rd] = c.Cycle
 		c.PC = c.next()
 
-	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR:
+	// The ALU families are expanded per opcode so the retired path runs
+	// each operation directly instead of re-dispatching inside alu() —
+	// the second half of the fast front end in predecode.go. Semantics
+	// and cycle charges are identical to alu()/aluCost (the speculative
+	// path in spec.go still goes through them, and
+	// TestQuickALUSemantics/equivalence keep the two in lockstep).
+	case isa.ADD:
 		c.waitReg(in.Rs1)
 		c.waitReg(in.Rs2)
-		v, err := alu(in.Op, c.Regs[in.Rs1], c.Regs[in.Rs2])
-		if err != nil {
-			return err
-		}
-		c.Regs[in.Rd] = v
-		c.Cycle += aluCost(in.Op)
-		c.regReady[in.Rd] = c.Cycle
-		c.PC = c.next()
-
-	case isa.ADDI, isa.SUBI, isa.MULI, isa.DIVI, isa.MODI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]+c.Regs[in.Rs2], 1)
+	case isa.SUB:
 		c.waitReg(in.Rs1)
-		v, err := alu(immOpBase(in.Op), c.Regs[in.Rs1], uint64(in.Imm))
-		if err != nil {
-			return err
+		c.waitReg(in.Rs2)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]-c.Regs[in.Rs2], 1)
+	case isa.MUL:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]*c.Regs[in.Rs2], 3)
+	case isa.DIV:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		if c.Regs[in.Rs2] == 0 {
+			return errDivZero
 		}
-		c.Regs[in.Rd] = v
-		c.Cycle += aluCost(immOpBase(in.Op))
-		c.regReady[in.Rd] = c.Cycle
-		c.PC = c.next()
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]/c.Regs[in.Rs2], 20)
+	case isa.MOD:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		if c.Regs[in.Rs2] == 0 {
+			return errDivZero
+		}
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]%c.Regs[in.Rs2], 20)
+	case isa.AND:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]&c.Regs[in.Rs2], 1)
+	case isa.OR:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]|c.Regs[in.Rs2], 1)
+	case isa.XOR:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]^c.Regs[in.Rs2], 1)
+	case isa.SHL:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]<<(c.Regs[in.Rs2]&63), 1)
+	case isa.SHR:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]>>(c.Regs[in.Rs2]&63), 1)
+	case isa.SAR:
+		c.waitReg(in.Rs1)
+		c.waitReg(in.Rs2)
+		c.aluRetire(in.Rd, uint64(int64(c.Regs[in.Rs1])>>(c.Regs[in.Rs2]&63)), 1)
+
+	case isa.ADDI:
+		c.waitReg(in.Rs1)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]+uint64(in.Imm), 1)
+	case isa.SUBI:
+		c.waitReg(in.Rs1)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]-uint64(in.Imm), 1)
+	case isa.MULI:
+		c.waitReg(in.Rs1)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]*uint64(in.Imm), 3)
+	case isa.DIVI:
+		c.waitReg(in.Rs1)
+		if in.Imm == 0 {
+			return errDivZero
+		}
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]/uint64(in.Imm), 20)
+	case isa.MODI:
+		c.waitReg(in.Rs1)
+		if in.Imm == 0 {
+			return errDivZero
+		}
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]%uint64(in.Imm), 20)
+	case isa.ANDI:
+		c.waitReg(in.Rs1)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]&uint64(in.Imm), 1)
+	case isa.ORI:
+		c.waitReg(in.Rs1)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]|uint64(in.Imm), 1)
+	case isa.XORI:
+		c.waitReg(in.Rs1)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]^uint64(in.Imm), 1)
+	case isa.SHLI:
+		c.waitReg(in.Rs1)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]<<(uint64(in.Imm)&63), 1)
+	case isa.SHRI:
+		c.waitReg(in.Rs1)
+		c.aluRetire(in.Rd, c.Regs[in.Rs1]>>(uint64(in.Imm)&63), 1)
 
 	case isa.LOAD, isa.LOADB:
 		c.waitReg(in.Rs1)
@@ -477,39 +557,31 @@ func alu(op isa.Op, a, b uint64) (uint64, error) {
 	return 0, fmt.Errorf("cpu: not an ALU op: %s", op)
 }
 
-// immOpBase maps an immediate-form ALU opcode to its register form.
-func immOpBase(op isa.Op) isa.Op {
-	switch op {
-	case isa.ADDI:
-		return isa.ADD
-	case isa.SUBI:
-		return isa.SUB
-	case isa.MULI:
-		return isa.MUL
-	case isa.DIVI:
-		return isa.DIV
-	case isa.MODI:
-		return isa.MOD
-	case isa.ANDI:
-		return isa.AND
-	case isa.ORI:
-		return isa.OR
-	case isa.XORI:
-		return isa.XOR
-	case isa.SHLI:
-		return isa.SHL
-	case isa.SHRI:
-		return isa.SHR
+// immOpBaseTab maps an immediate-form ALU opcode to its register form
+// (identity elsewhere); a table so the lookup inlines on the hot path.
+var immOpBaseTab = func() [isa.NumOps]isa.Op {
+	var t [isa.NumOps]isa.Op
+	for i := range t {
+		t[i] = isa.Op(i)
 	}
-	return op
-}
+	t[isa.ADDI], t[isa.SUBI], t[isa.MULI] = isa.ADD, isa.SUB, isa.MUL
+	t[isa.DIVI], t[isa.MODI], t[isa.ANDI] = isa.DIV, isa.MOD, isa.AND
+	t[isa.ORI], t[isa.XORI], t[isa.SHLI], t[isa.SHRI] = isa.OR, isa.XOR, isa.SHL, isa.SHR
+	return t
+}()
 
-func aluCost(op isa.Op) uint64 {
-	switch op {
-	case isa.MUL:
-		return 3
-	case isa.DIV, isa.MOD:
-		return 20
+// immOpBase maps an immediate-form ALU opcode to its register form.
+func immOpBase(op isa.Op) isa.Op { return immOpBaseTab[op] }
+
+// aluCostTab holds per-opcode ALU cycle costs (1 except MUL/DIV/MOD).
+var aluCostTab = func() [isa.NumOps]uint64 {
+	var t [isa.NumOps]uint64
+	for i := range t {
+		t[i] = 1
 	}
-	return 1
-}
+	t[isa.MUL] = 3
+	t[isa.DIV], t[isa.MOD] = 20, 20
+	return t
+}()
+
+func aluCost(op isa.Op) uint64 { return aluCostTab[op] }

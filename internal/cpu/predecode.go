@@ -1,0 +1,94 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// The predecode cache is a host-side optimization, not a modelled
+// structure: the simulated machine has no instruction cache and charges
+// no cycles for fetch or decode, so memoizing the (Fetch, Decode) pair
+// per PC changes nothing observable — not Cycle, not the PMU counters,
+// not the data-cache statistics (cpu/equivalence_test.go and the
+// experiments' TestDeterminism golden suite enforce this). What it does
+// change is host throughput: retired and wrong-path execution revisit the
+// same handful of PCs millions of times, and without the cache each visit
+// pays a per-page permission walk plus a fully validating decode.
+//
+// Coherence is generation-based rather than hook-based: mem.Memory bumps
+// a per-page write generation on every store, loader write and Protect
+// call, and a cached decode is served only while its page's generation is
+// unchanged. That keeps ROP injection, image (re)mapping between runs,
+// RWX self-modifying code and permission flips architecturally exact with
+// a single uint64 comparison on the hot path. If the generation moved but
+// the underlying bytes did not (a neighbouring store on the same page),
+// the entry is revalidated by byte comparison and re-decoded with
+// isa.DecodeFast — the bytes were already proven canonical.
+const (
+	icacheBits = 12
+	icacheSize = 1 << icacheBits // 4096 entries = 64 KiB of code
+)
+
+// icacheEntry is one direct-mapped predecode slot. The tag is pc+1 so the
+// zero value never matches a real PC (the all-ones PC cannot hold a whole
+// instruction and is rejected by the fill path).
+type icacheEntry struct {
+	tag uint64 // pc+1; 0 = empty
+	gen uint64 // page write generation at fill time
+	in  isa.Instruction
+	raw [isa.InstrSize]byte // fill-time bytes, for cheap revalidation
+}
+
+// maxInPageOff is the largest page offset at which a whole instruction
+// still fits inside one page (InstrSize divides PageSize, so aligned
+// fetches never straddle; only odd PCs reached through corrupted control
+// flow can).
+const maxInPageOff = mem.PageSize - isa.InstrSize
+
+// fetchDecode is the predecode-cache hit test: it returns the cached
+// decode for pc when the slot's tag matches and the containing page's
+// write generation is unchanged. It is deliberately tiny — and free of
+// the miss-path call — so it inlines into the Step and speculate loops
+// (the Go inliner will not inline the combined form); on a miss the
+// caller invokes fetchDecodeMiss. A matching tag proves pc was fetchable
+// at fill time, so the genTab index needs no bounds logic.
+func (c *CPU) fetchDecode(pc uint64) (isa.Instruction, bool) {
+	e := &c.icache[(pc/isa.InstrSize)%icacheSize]
+	if e.tag == pc+1 && e.gen == c.genTab[pc/mem.PageSize] {
+		return e.in, true
+	}
+	return isa.Instruction{}, false
+}
+
+// fetchDecodeMiss fills (or refreshes) the predecode slot for pc: the
+// first visit to a PC pays the full permission-checked fetch and
+// validating decode here. A page-straddling pc, or a core with the cache
+// disabled for differential testing, takes the original uncached
+// Fetch+Decode path and leaves the slot alone.
+func (c *CPU) fetchDecodeMiss(pc uint64) (isa.Instruction, error) {
+	e := &c.icache[(pc/isa.InstrSize)%icacheSize]
+	if pc&(mem.PageSize-1) > maxInPageOff || c.predecodeOff {
+		raw, err := c.Mem.Fetch(pc, isa.InstrSize)
+		if err != nil {
+			return isa.Instruction{}, err
+		}
+		return isa.Decode(raw)
+	}
+	raw, gen, err := c.Mem.FetchNoCopy(pc, isa.InstrSize)
+	if err != nil {
+		return isa.Instruction{}, err
+	}
+	if e.tag == pc+1 && e.raw == [isa.InstrSize]byte(raw) {
+		// The page was written but these bytes were not: already proven
+		// canonical, so skip revalidation.
+		e.in = isa.DecodeFast(raw)
+		e.gen = gen
+		return e.in, nil
+	}
+	in, err := isa.Decode(raw)
+	if err != nil {
+		return isa.Instruction{}, err
+	}
+	*e = icacheEntry{tag: pc + 1, gen: gen, in: in, raw: [isa.InstrSize]byte(raw)}
+	return in, nil
+}

@@ -49,13 +49,12 @@ func (c *CPU) speculate(pc, deadline uint64) {
 
 loop:
 	for n := 0; n < c.cfg.SpecWindow && cyc < deadline; n++ {
-		raw, err := c.Mem.Fetch(pc, isa.InstrSize)
-		if err != nil {
-			break
-		}
-		in, err := isa.Decode(raw)
-		if err != nil {
-			break
+		in, ok := c.fetchDecode(pc)
+		if !ok {
+			var err error
+			if in, err = c.fetchDecodeMiss(pc); err != nil {
+				break
+			}
 		}
 		c.specInstr++
 		next := pc + isa.InstrSize
@@ -266,6 +265,14 @@ loop:
 // store buffer, falling back to permission-checked memory. Faults abort
 // the episode (returned as errors).
 func (c *CPU) specRead(s *specState, addr, size uint64) (uint64, error) {
+	if len(s.store) == 0 {
+		// No speculative stores to forward: whole-word fast path.
+		if size == 8 {
+			return c.Mem.Read64(addr)
+		}
+		b, err := c.Mem.Read8(addr)
+		return uint64(b), err
+	}
 	var v uint64
 	for i := uint64(0); i < size; i++ {
 		a := addr + i

@@ -1,0 +1,38 @@
+package isa
+
+import "testing"
+
+// TestDecodeFastMatchesDecode checks the predecoder's contract: for every
+// opcode's canonical encoding, DecodeFast reproduces exactly what the
+// validating Decode returns. DecodeFast may only ever be applied to bytes
+// Decode has already accepted, so canonical encodings are the whole
+// domain.
+func TestDecodeFastMatchesDecode(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		in := Instruction{Op: op}
+		u := usage(op.Form())
+		if u.rd {
+			in.Rd = 3
+		}
+		if u.rs1 {
+			in.Rs1 = 5
+		}
+		if u.rs2 {
+			in.Rs2 = 7
+		}
+		if u.imm {
+			in.Imm = -123456789
+		}
+		var buf [InstrSize]byte
+		if err := in.Encode(buf[:]); err != nil {
+			t.Fatalf("%s: encode: %v", op, err)
+		}
+		want, err := Decode(buf[:])
+		if err != nil {
+			t.Fatalf("%s: decode: %v", op, err)
+		}
+		if got := DecodeFast(buf[:]); got != want {
+			t.Errorf("%s: DecodeFast = %+v, Decode = %+v", op, got, want)
+		}
+	}
+}

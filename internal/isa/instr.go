@@ -119,13 +119,7 @@ func Decode(src []byte) (Instruction, error) {
 	if len(src) < InstrSize {
 		return Instruction{}, fmt.Errorf("isa: decode needs %d bytes, have %d", InstrSize, len(src))
 	}
-	in := Instruction{
-		Op:  Op(src[0]),
-		Rd:  src[1],
-		Rs1: src[2],
-		Rs2: src[3],
-		Imm: int64(binary.LittleEndian.Uint64(src[4:12])),
-	}
+	in := DecodeFast(src)
 	if src[12] != 0 || src[13] != 0 || src[14] != 0 || src[15] != 0 {
 		return Instruction{}, fmt.Errorf("isa: reserved bytes nonzero at %s", in.Op)
 	}
@@ -133,6 +127,22 @@ func Decode(src []byte) (Instruction, error) {
 		return Instruction{}, err
 	}
 	return in, nil
+}
+
+// DecodeFast extracts the instruction fields from src without any
+// canonicality validation: no opcode/register range checks, no
+// unused-field or reserved-byte checks. It is the hot-path decoder for
+// bytes a previous Decode at the same address already proved canonical
+// (the CPU's predecode cache); on arbitrary bytes it returns whatever the
+// fields happen to say. src must hold at least InstrSize bytes.
+func DecodeFast(src []byte) Instruction {
+	return Instruction{
+		Op:  Op(src[0]),
+		Rd:  src[1],
+		Rs1: src[2],
+		Rs2: src[3],
+		Imm: int64(binary.LittleEndian.Uint64(src[4:12])),
+	}
 }
 
 // String renders the instruction in assembler syntax.

@@ -1,0 +1,159 @@
+package mem
+
+import "testing"
+
+// TestPageGenBumpsOnWrites checks that every channel that can change a
+// page's bytes or permissions advances its write generation, and that
+// reads never do — the invariant the CPU's predecode cache coherence
+// rests on.
+func TestPageGenBumpsOnWrites(t *testing.T) {
+	m := newMapped(t, 64<<10, PermRW)
+	g0 := m.PageGen(0)
+	if g0 == 0 {
+		t.Fatal("mapped page reports generation 0; Protect must bump")
+	}
+
+	if err := m.Write8(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(0); g <= g0 {
+		t.Errorf("Write8 did not bump: %d -> %d", g0, g)
+	}
+	g0 = m.PageGen(0)
+
+	if err := m.Write64(16, 0xabcd); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(0); g <= g0 {
+		t.Errorf("Write64 did not bump: %d -> %d", g0, g)
+	}
+	g0 = m.PageGen(0)
+
+	if err := m.WriteBytes(24, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(0); g <= g0 {
+		t.Errorf("WriteBytes did not bump: %d -> %d", g0, g)
+	}
+	g0 = m.PageGen(0)
+
+	if err := m.LoadRaw(32, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(0); g <= g0 {
+		t.Errorf("LoadRaw did not bump: %d -> %d", g0, g)
+	}
+	g0 = m.PageGen(0)
+
+	if err := m.Protect(0, PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(0); g <= g0 {
+		t.Errorf("Protect did not bump: %d -> %d", g0, g)
+	}
+	g0 = m.PageGen(0)
+
+	// Reads must not bump.
+	if _, err := m.Read64(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadBytes(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fetch(0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.FetchNoCopy(0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(0); g != g0 {
+		t.Errorf("a read bumped the generation: %d -> %d", g0, g)
+	}
+
+	// Zero-length writes are no-ops.
+	if err := m.WriteBytes(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadRaw(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.PageGen(0); g != g0 {
+		t.Errorf("zero-length write bumped the generation: %d -> %d", g0, g)
+	}
+}
+
+// TestPageGenPerPage checks generations are tracked per page: a write to
+// one page leaves its neighbours alone, and a straddling write bumps
+// every page it touches.
+func TestPageGenPerPage(t *testing.T) {
+	m := newMapped(t, 64<<10, PermRW)
+	g0, g1 := m.PageGen(0), m.PageGen(PageSize)
+
+	if err := m.Write8(PageSize+1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageGen(0) != g0 {
+		t.Error("write to page 1 bumped page 0")
+	}
+	if m.PageGen(PageSize) <= g1 {
+		t.Error("write to page 1 did not bump page 1")
+	}
+
+	g0, g1 = m.PageGen(0), m.PageGen(PageSize)
+	if err := m.WriteBytes(PageSize-2, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageGen(0) <= g0 || m.PageGen(PageSize) <= g1 {
+		t.Error("straddling write did not bump both pages")
+	}
+
+	if g := m.PageGen(1 << 40); g != 0 {
+		t.Errorf("out-of-range PageGen = %d, want 0", g)
+	}
+}
+
+// TestFetchNoCopy checks the zero-copy exec view: success within one
+// page, refusal on straddles, and the usual permission faults.
+func TestFetchNoCopy(t *testing.T) {
+	m := New(64 << 10)
+	if err := m.Protect(0, PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(PageSize, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadRaw(32, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	b, gen, err := m.FetchNoCopy(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != m.PageGen(32) || gen == 0 {
+		t.Errorf("gen = %d, want %d (non-zero)", gen, m.PageGen(32))
+	}
+	if string(b) != "\x01\x02\x03\x04\x05\x06\x07\x08" {
+		t.Errorf("bytes = %v", b)
+	}
+	// The view is zero-copy: a later raw write is visible through it.
+	if err := m.LoadRaw(32, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xFF {
+		t.Error("FetchNoCopy returned a copy, want an aliased view")
+	}
+
+	if _, _, err := m.FetchNoCopy(PageSize-4, 8); faultKind(t, err) != FaultUnmapped {
+		t.Errorf("straddling FetchNoCopy: %v, want unmapped refusal", err)
+	}
+	if _, _, err := m.FetchNoCopy(PageSize+8, 8); faultKind(t, err) != FaultExec {
+		t.Errorf("non-exec FetchNoCopy: %v, want exec fault", err)
+	}
+	if _, _, err := m.FetchNoCopy(2*PageSize+8, 8); faultKind(t, err) != FaultUnmapped {
+		t.Errorf("unmapped FetchNoCopy: %v, want unmapped fault", err)
+	}
+	if _, _, err := m.FetchNoCopy(1<<40, 8); faultKind(t, err) != FaultUnmapped {
+		t.Errorf("out-of-range FetchNoCopy: %v, want unmapped fault", err)
+	}
+}

@@ -7,7 +7,10 @@
 // executable).
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // PageSize is the granularity of memory protection.
 const PageSize = 4096
@@ -82,7 +85,8 @@ func (f *Fault) Error() string {
 // Memory is a flat simulated physical memory.
 type Memory struct {
 	data  []byte
-	perms []Perm // one per page
+	perms []Perm   // one per page
+	gen   []uint64 // per-page write generation (see PageGen)
 
 	// OnWrite, when set, observes every successful user-mode store
 	// (watchpoints, overflow detectors). It runs after the bytes land.
@@ -97,6 +101,7 @@ func New(size uint64) *Memory {
 	return &Memory{
 		data:  make([]byte, size),
 		perms: make([]Perm, size/PageSize),
+		gen:   make([]uint64, size/PageSize),
 	}
 }
 
@@ -114,8 +119,38 @@ func (m *Memory) Protect(addr, n uint64, p Perm) error {
 	}
 	for pg := addr / PageSize; pg <= (end-1)/PageSize; pg++ {
 		m.perms[pg] = p
+		m.gen[pg]++
 	}
 	return nil
+}
+
+// PageGen returns the write generation of the page containing addr: a
+// counter bumped by every store, loader write (LoadRaw) and Protect call
+// touching the page, and never otherwise. Out-of-range addresses report
+// generation zero; a page can only become executable through Protect, so
+// any successfully fetched page has generation >= 1. Consumers that cache
+// derived views of memory (the CPU's predecode cache) compare generations
+// to detect staleness instead of registering invalidation hooks.
+func (m *Memory) PageGen(addr uint64) uint64 {
+	if addr >= m.Size() {
+		return 0
+	}
+	return m.gen[addr/PageSize]
+}
+
+// PageGens returns a live view of the per-page write generations, indexed
+// by page number (addr / PageSize). It exists so a hot consumer (the
+// CPU's predecode cache) can poll generations with a plain slice load
+// instead of a method call per fetch; callers must treat the slice as
+// read-only.
+func (m *Memory) PageGens() []uint64 { return m.gen }
+
+// bumpGen advances the write generation of every page overlapping
+// [addr, addr+n). Callers have already bounds-checked the range.
+func (m *Memory) bumpGen(addr, n uint64) {
+	for pg := addr / PageSize; pg <= (addr+n-1)/PageSize; pg++ {
+		m.gen[pg]++
+	}
 }
 
 // PermAt returns the permissions of the page containing addr.
@@ -131,7 +166,18 @@ func (m *Memory) check(addr, n uint64, need Perm, kind FaultKind) error {
 	if end < addr || end > m.Size() {
 		return &Fault{Kind: FaultUnmapped, Addr: addr}
 	}
-	for pg := addr / PageSize; pg <= (end-1)/PageSize; pg++ {
+	pg, last := addr/PageSize, (end-1)/PageSize
+	if pg == last {
+		// Fast path: accesses of <=8 bytes almost never straddle a page.
+		if p := m.perms[pg]; p&need == 0 {
+			if p == 0 {
+				return &Fault{Kind: FaultUnmapped, Addr: addr}
+			}
+			return &Fault{Kind: kind, Addr: addr}
+		}
+		return nil
+	}
+	for ; pg <= last; pg++ {
 		p := m.perms[pg]
 		if p == 0 {
 			return &Fault{Kind: FaultUnmapped, Addr: addr}
@@ -157,6 +203,7 @@ func (m *Memory) Write8(addr uint64, v byte) error {
 		return err
 	}
 	m.data[addr] = v
+	m.gen[addr/PageSize]++
 	if m.OnWrite != nil {
 		m.OnWrite(addr, 1)
 	}
@@ -176,9 +223,8 @@ func (m *Memory) Write64(addr uint64, v uint64) error {
 	if err := m.check(addr, 8, PermWrite, FaultWrite); err != nil {
 		return err
 	}
-	for i := 0; i < 8; i++ {
-		m.data[addr+uint64(i)] = byte(v >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(m.data[addr:addr+8], v)
+	m.bumpGen(addr, 8)
 	if m.OnWrite != nil {
 		m.OnWrite(addr, 8)
 	}
@@ -191,6 +237,28 @@ func (m *Memory) Fetch(addr, n uint64) ([]byte, error) {
 		return nil, err
 	}
 	return m.data[addr : addr+n], nil
+}
+
+// FetchNoCopy is the predecoder's fetch: it returns a zero-copy view of n
+// bytes of executable memory together with the containing page's write
+// generation, so the caller can cache a decode of the bytes and later
+// detect staleness with a single PageGen comparison. The range must lie
+// within one page (callers fall back to Fetch for the rare straddling
+// access); a crossing range returns an unmapped fault rather than a
+// half-checked view.
+func (m *Memory) FetchNoCopy(addr, n uint64) ([]byte, uint64, error) {
+	end := addr + n
+	pg := addr / PageSize
+	if end < addr || end > m.Size() || (end-1)/PageSize != pg {
+		return nil, 0, &Fault{Kind: FaultUnmapped, Addr: addr}
+	}
+	if p := m.perms[pg]; p&PermExec == 0 {
+		if p == 0 {
+			return nil, 0, &Fault{Kind: FaultUnmapped, Addr: addr}
+		}
+		return nil, 0, &Fault{Kind: FaultExec, Addr: addr}
+	}
+	return m.data[addr:end], m.gen[pg], nil
 }
 
 // ReadBytes copies n bytes starting at addr.
@@ -212,6 +280,7 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 		return err
 	}
 	copy(m.data[addr:], b)
+	m.bumpGen(addr, uint64(len(b)))
 	if m.OnWrite != nil {
 		m.OnWrite(addr, len(b))
 	}
@@ -238,11 +307,15 @@ func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
 // privileged channel ("kernel mode"): used to map images and build the
 // initial stack before user-mode execution begins.
 func (m *Memory) LoadRaw(addr uint64, b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
 	end := addr + uint64(len(b))
 	if end < addr || end > m.Size() {
 		return &Fault{Kind: FaultUnmapped, Addr: addr}
 	}
 	copy(m.data[addr:], b)
+	m.bumpGen(addr, uint64(len(b)))
 	return nil
 }
 
@@ -267,9 +340,5 @@ func (m *Memory) Peek64(addr uint64) (uint64, error) {
 }
 
 func (m *Memory) raw64(addr uint64) uint64 {
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(m.data[addr+uint64(i)]) << (8 * i)
-	}
-	return v
+	return binary.LittleEndian.Uint64(m.data[addr : addr+8])
 }

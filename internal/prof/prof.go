@@ -1,0 +1,59 @@
+// Package prof wires Go's runtime profilers into the command-line tools.
+// The simulator is a pure-Go interpreter, so host-side profiles are the
+// ground truth for optimisation work (the predecode cache and memory fast
+// paths were driven by them); the commands expose -cpuprofile/-memprofile
+// so any experiment run can be profiled without recompiling.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and schedules a heap profile
+// into memPath; either path may be empty to skip that profile. The
+// returned stop function must be called exactly once when the profiled
+// work is done (it finalises the CPU profile and takes the heap
+// snapshot); it is non-nil even when both paths are empty, so callers can
+// defer it unconditionally.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("prof: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}
