@@ -8,6 +8,7 @@
 //
 //	crspectre [-host math] [-variant v1-bounds-check] [-secret S]
 //	          [-perturb] [-detector mlp] [-seed N] [-workers N]
+//	          [-trace t.json] [-trace-events t.jsonl] [-manifest m.json]
 package main
 
 import (
@@ -17,9 +18,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 )
 
 // errSecretWrong reports a completed run that failed to recover the
@@ -54,6 +57,10 @@ func run(args []string, stdout io.Writer) (err error) {
 		seed     = fs.Int64("seed", 1, "layout/initialisation seed")
 		workers  = fs.Int("workers", 0, "parallel corpus building when -detector is set (0 = all cores)")
 		list     = fs.Bool("list", false, "list available hosts and exit")
+
+		traceOut  = fs.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
+		eventsOut = fs.String("trace-events", "", "write the raw JSONL event log to this file")
+		manifest  = fs.String("manifest", "", "write a run manifest (config, seeds, build, metrics) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +83,25 @@ func run(args []string, stdout io.Writer) (err error) {
 		return nil
 	}
 
+	// Telemetry sinks: a recorder when any trace/manifest output was
+	// requested (the manifest carries the per-kind event totals), a
+	// registry whenever a manifest is wanted. Both stay nil — and every
+	// core hook a single nil check — otherwise.
+	var (
+		rec   *telemetry.Recorder
+		reg   *telemetry.Registry
+		start = time.Now()
+	)
+	if *traceOut != "" || *eventsOut != "" || *manifest != "" {
+		rec = telemetry.NewRecorder(0)
+		// Retirements would wrap the ring within ~65k instructions and
+		// evict the attack's speculation episodes; keep them as counts.
+		rec.Exclude(telemetry.KindRetire)
+	}
+	if *manifest != "" {
+		reg = telemetry.NewRegistry()
+	}
+
 	rep, err := repro.RunAttack(repro.AttackOptions{
 		Host:      *host,
 		Variant:   *variant,
@@ -84,9 +110,41 @@ func run(args []string, stdout io.Writer) (err error) {
 		Detector:  *detector,
 		Seed:      *seed,
 		Workers:   *workers,
+		Telemetry: rec,
+		Metrics:   reg,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *traceOut != "" {
+		if err := telemetry.WriteChromeTraceFile(*traceOut, rec.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote trace %s (%d events, %d dropped)\n", *traceOut, rec.Len(), rec.Dropped())
+	}
+	if *eventsOut != "" {
+		if err := telemetry.WriteJSONLFile(*eventsOut, rec.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote event log %s\n", *eventsOut)
+	}
+	if *manifest != "" {
+		m := telemetry.NewManifest("crspectre", args)
+		m.Seed = *seed
+		m.Workers = *workers
+		m.Config = map[string]any{
+			"host":       *host,
+			"variant":    *variant,
+			"secret_len": len(*secret),
+			"perturb":    *perturb,
+			"detector":   *detector,
+		}
+		m.Finish(start, reg, rec)
+		if err := m.WriteFile(*manifest); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote manifest %s\n", *manifest)
 	}
 
 	fmt.Fprintf(stdout, "host:             %s\n", rep.Host)

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 )
 
 // errUsage marks a bad invocation (exit code 2, like flag errors).
@@ -63,9 +64,17 @@ func run(args []string, stdout io.Writer) (err error) {
 		reps       = fs.Int("reps", 0, "Table I repetitions per cell (0 = default 3)")
 		workers    = fs.Int("workers", 0, "parallel simulated machines (0 = all cores); results are identical for any value")
 		csvdir     = fs.String("csvdir", "", "also write CSV files into this directory")
+
+		traceOut  = fs.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
+		eventsOut = fs.String("trace-events", "", "write the raw JSONL event log to this file")
+		manifest  = fs.String("manifest", "", "write a run manifest to this file (default <csvdir>/manifest.json when -csvdir is set)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	manifestPath := *manifest
+	if manifestPath == "" && *csvdir != "" {
+		manifestPath = filepath.Join(*csvdir, "manifest.json")
 	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -84,6 +93,20 @@ func run(args []string, stdout io.Writer) (err error) {
 	cfg.Seed = *seed
 	cfg.Reps = *reps
 	cfg.Workers = *workers
+
+	// Telemetry sinks share one recorder/registry across every section
+	// the invocation runs; the manifest then carries the aggregate
+	// metrics and per-kind event totals. All nil when nothing asked.
+	runStart := time.Now()
+	if *traceOut != "" || *eventsOut != "" || manifestPath != "" {
+		cfg.Telemetry = telemetry.NewRecorder(0)
+		// Retirements would wrap the ring within ~65k instructions and
+		// evict the episode-structure events; keep them as counts.
+		cfg.Telemetry.Exclude(telemetry.KindRetire)
+	}
+	if manifestPath != "" {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
 
 	if !*all && *fig == "" && *table == "" && !*latency && !*recycle && !*alarms {
 		return errUsage
@@ -203,6 +226,28 @@ func run(args []string, stdout io.Writer) (err error) {
 		}); err != nil {
 			return err
 		}
+	}
+
+	if *traceOut != "" {
+		if err := telemetry.WriteChromeTraceFile(*traceOut, cfg.Telemetry.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote trace %s (%d events, %d dropped)\n",
+			*traceOut, cfg.Telemetry.Len(), cfg.Telemetry.Dropped())
+	}
+	if *eventsOut != "" {
+		if err := telemetry.WriteJSONLFile(*eventsOut, cfg.Telemetry.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote event log %s\n", *eventsOut)
+	}
+	if manifestPath != "" {
+		m := cfg.Manifest("experiments", args)
+		cfg.FinishManifest(m, runStart)
+		if err := m.WriteFile(manifestPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote manifest %s\n", manifestPath)
 	}
 	return nil
 }

@@ -2,12 +2,14 @@
 // the full CR-Spectre scenario), optionally sets a breakpoint at a
 // symbol, runs, and dumps symbolised state — registers, the
 // reconstructed call stack (where a ROP hijack shows up as dangling
-// frames), and the retirement trace tail.
+// frames), and the unified telemetry event timeline (speculation
+// episodes, cache traffic, RET pivots, covert probes) around each stop.
 //
 // Usage:
 //
 //	simdbg -host math -break workload_main          # stop at the kernel
-//	simdbg -host math -attack -trace 40             # watch the hijack
+//	simdbg -host math -attack -events 40            # watch the hijack
+//	simdbg -host math -attack -trace t.json         # export for Perfetto
 package main
 
 import (
@@ -15,12 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/debug"
 	"repro/internal/gadget"
 	"repro/internal/mibench"
 	"repro/internal/rop"
 	"repro/internal/spectre"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -29,11 +33,16 @@ func main() {
 		hostName = flag.String("host", "math", "workload to load")
 		bp       = flag.String("break", "", "break at this symbol")
 		attack   = flag.Bool("attack", false, "run the CR-Spectre injection instead of a benign input")
-		traceN   = flag.Int("trace", 25, "trace entries to dump")
+		events   = flag.Int("events", 25, "telemetry events to dump at each stop")
 		budget   = flag.Uint64("budget", 200_000_000, "instruction budget")
 		watchRet = flag.Bool("watchret", false, "watch the saved-return-address slot and report who wrote it")
+
+		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace of the session to this file")
+		eventsOut = flag.String("trace-events", "", "write the raw JSONL event log to this file")
+		manifest  = flag.String("manifest", "", "write a session manifest to this file")
 	)
 	flag.Parse()
+	start := time.Now()
 
 	host, err := mibench.ByName(*hostName)
 	if err != nil {
@@ -47,7 +56,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	m := vm.New(vm.DefaultConfig())
+	// The debugger always records: its whole point is observation, so
+	// the telemetry ring is on unconditionally (unlike the batch tools,
+	// which only pay for it when an export flag asks).
+	rec := telemetry.NewRecorder(0)
+	cfg := vm.DefaultConfig()
+	cfg.Telemetry = rec
+	m := vm.New(cfg)
 	m.Register(host.Name, hostMod, 0x100000)
 	img, err := m.Load(host.Name)
 	if err != nil {
@@ -71,6 +86,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		plan.Emit(rec)
 		arg = plan.Payload
 		fmt.Printf("loaded %s with a %d-word ROP payload\n", host.Name, plan.Chain.Len())
 	}
@@ -86,6 +102,9 @@ func main() {
 	d.AddSymbols(img.Symbols)
 	if aimg, ok := m.Image("crspectre"); ok {
 		d.AddSymbols(aimg.Symbols)
+		// Mark the attack image's probe array so loads into it surface
+		// as covert_probe events on the timeline.
+		spectre.AnnotateProbe(m.CPU, aimg)
 	}
 	if *watchRet {
 		// _start's CALL pushes the return address one word below the
@@ -100,6 +119,38 @@ func main() {
 		fmt.Printf("breakpoint at %s\n", *bp)
 	}
 
+	// export writes whatever trace/manifest outputs were requested; it
+	// runs on every exit path so a crashed session still leaves its
+	// timeline behind.
+	export := func() {
+		if *traceOut != "" {
+			if err := telemetry.WriteChromeTraceFile(*traceOut, rec.Events()); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote trace %s (%d events, %d dropped)\n", *traceOut, rec.Len(), rec.Dropped())
+		}
+		if *eventsOut != "" {
+			if err := telemetry.WriteJSONLFile(*eventsOut, rec.Events()); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote event log %s\n", *eventsOut)
+		}
+		if *manifest != "" {
+			mf := telemetry.NewManifest("simdbg", os.Args[1:])
+			mf.Config = map[string]any{
+				"host":   *hostName,
+				"attack": *attack,
+				"break":  *bp,
+				"budget": *budget,
+			}
+			mf.Finish(start, nil, rec)
+			if err := mf.WriteFile(*manifest); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote manifest %s\n", *manifest)
+		}
+	}
+
 	for {
 		err := d.Run(*budget)
 		var br *debug.ErrBreak
@@ -107,19 +158,24 @@ func main() {
 		case err == nil:
 			fmt.Println("\nprogram halted")
 			fmt.Printf("output: %q\n", m.Output.String())
-			d.DumpState(os.Stdout, *traceN)
+			d.DumpState(os.Stdout, 0)
+			d.DumpEvents(os.Stdout, rec, *events)
 			if *watchRet {
 				fmt.Println()
 				fmt.Print(d.ReportWatches())
 			}
+			export()
 			return
 		case errors.As(err, &br):
 			fmt.Printf("\nbreakpoint hit at %s (cycle %d)\n", d.Symbolize(br.Ev.PC), br.Ev.Cycle)
-			d.DumpState(os.Stdout, *traceN)
+			d.DumpState(os.Stdout, 0)
+			d.DumpEvents(os.Stdout, rec, *events)
 			fmt.Println("\ncontinuing...")
 		default:
 			fmt.Printf("\nstopped: %v\n", err)
-			d.DumpState(os.Stdout, *traceN)
+			d.DumpState(os.Stdout, 0)
+			d.DumpEvents(os.Stdout, rec, *events)
+			export()
 			os.Exit(1)
 		}
 	}

@@ -5,7 +5,11 @@
 // them back with timed probes (flush+reload).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Line is one cache line's metadata.
 type line struct {
@@ -206,6 +210,15 @@ type Hierarchy struct {
 	NextLinePrefetch bool
 	// Prefetches counts issued prefetch fills.
 	Prefetches uint64
+
+	// Tel, when non-nil, receives fill/evict/flush events. The emitting
+	// core attaches it (cpu.AttachTelemetry); the hierarchy itself never
+	// consults it beyond a nil check, so the disabled path is unchanged.
+	Tel *telemetry.Recorder
+	// Clock points at the emitting core's cycle counter so cache events
+	// carry core time; the core repoints it at the episode-local clock
+	// during speculation so wrong-path fills nest inside their episode.
+	Clock *uint64
 }
 
 // DefaultHierarchy builds a 32 KiB 8-way L1 and 256 KiB 8-way L2 with
@@ -221,6 +234,27 @@ func DefaultHierarchy() *Hierarchy {
 // Access simulates a data access at addr and returns its latency in
 // cycles plus which level (1, 2, or 3=memory) served it.
 func (h *Hierarchy) Access(addr uint64) (latency uint64, level int) {
+	if h.Tel == nil {
+		if h.L1.Access(addr) {
+			return h.Lat.L1Hit, 1
+		}
+		if h.NextLinePrefetch {
+			h.Prefetches++
+			h.L2.Access(addr + h.LineSize())
+		}
+		if h.L2.Access(addr) {
+			return h.Lat.L2Hit, 2
+		}
+		return h.Lat.Memory, 3
+	}
+	return h.accessTraced(addr)
+}
+
+// accessTraced is Access with event emission: identical lookup/fill
+// behaviour, plus KindCacheFill on miss and KindCacheEvict per line the
+// fill displaced.
+func (h *Hierarchy) accessTraced(addr uint64) (latency uint64, level int) {
+	e1, e2 := h.L1.stats.Evicts, h.L2.stats.Evicts
 	if h.L1.Access(addr) {
 		return h.Lat.L1Hit, 1
 	}
@@ -228,14 +262,47 @@ func (h *Hierarchy) Access(addr uint64) (latency uint64, level int) {
 		h.Prefetches++
 		h.L2.Access(addr + h.LineSize())
 	}
+	latency, level = h.Lat.Memory, 3
 	if h.L2.Access(addr) {
-		return h.Lat.L2Hit, 2
+		latency, level = h.Lat.L2Hit, 2
 	}
-	return h.Lat.Memory, 3
+	cyc := h.now()
+	for ; e1 < h.L1.stats.Evicts; e1++ {
+		h.Tel.Emit(telemetry.Event{Kind: telemetry.KindCacheEvict, Level: 1, Cycle: cyc, Addr: addr})
+	}
+	for ; e2 < h.L2.stats.Evicts; e2++ {
+		h.Tel.Emit(telemetry.Event{Kind: telemetry.KindCacheEvict, Level: 2, Cycle: cyc, Addr: addr})
+	}
+	h.Tel.Emit(telemetry.Event{
+		Kind: telemetry.KindCacheFill, Level: uint8(level), Cycle: cyc,
+		Addr: addr, Val: latency,
+	})
+	return latency, level
+}
+
+// now reads the attached core clock (0 when no core is attached).
+func (h *Hierarchy) now() uint64 {
+	if h.Clock != nil {
+		return *h.Clock
+	}
+	return 0
 }
 
 // Flush evicts the line containing addr from every level (CLFLUSH).
 func (h *Hierarchy) Flush(addr uint64) {
+	if h.Tel != nil {
+		f1, f2 := h.L1.stats.Flushes, h.L2.stats.Flushes
+		h.L1.Flush(addr)
+		h.L2.Flush(addr)
+		cyc := h.now()
+		if h.L1.stats.Flushes > f1 {
+			h.Tel.Emit(telemetry.Event{Kind: telemetry.KindCacheFlush, Level: 1, Cycle: cyc, Addr: addr})
+		}
+		if h.L2.stats.Flushes > f2 {
+			h.Tel.Emit(telemetry.Event{Kind: telemetry.KindCacheFlush, Level: 2, Cycle: cyc, Addr: addr})
+		}
+		return
+	}
 	h.L1.Flush(addr)
 	h.L2.Flush(addr)
 }

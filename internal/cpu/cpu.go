@@ -16,6 +16,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // Config sets the core's micro-architectural parameters.
@@ -140,6 +141,21 @@ type CPU struct {
 	fences      uint64
 	syscalls    uint64
 	stallCycles uint64
+
+	// tel, when non-nil, receives typed micro-architectural events. Every
+	// hook site guards with a single nil check; hooks observe only and
+	// never change timing or architectural state (see package telemetry).
+	// The telemetry fields sit at the very end of the struct so enabling
+	// the feature moved no pre-existing field: the predecode icache's
+	// alignment — which swings throughput by several percent — is exactly
+	// what it was before telemetry existed.
+	tel *telemetry.Recorder
+	// [probeLo,probeHi) is the registered covert-channel probe window:
+	// loads touching it emit KindCovertProbe. [smashLo,smashHi) is the
+	// watched saved-return-address slot: plain stores overlapping it emit
+	// KindStackSmash. All zero when unset.
+	probeLo, probeHi uint64
+	smashLo, smashHi uint64
 }
 
 // New builds a core over the given memory with a default cache hierarchy
@@ -172,16 +188,46 @@ func New(m *mem.Memory, cfg Config) *CPU {
 func (c *CPU) interfere() {
 	for c.noiseNext != 0 && c.Cycle >= c.noiseNext {
 		c.noiseNext += c.cfg.NoisePeriod
-		for _, lvl := range []*cache.Cache{c.Caches.L1, c.Caches.L2} {
+		for li, lvl := range []*cache.Cache{c.Caches.L1, c.Caches.L2} {
 			c.noiseLCG = c.noiseLCG*6364136223846793005 + 1442695040888963407
 			sets, ways := lvl.Geometry()
 			set := (c.noiseLCG >> 16) % sets
 			for w := 0; w < ways; w++ {
-				lvl.EvictAt(set, w)
+				if lvl.EvictAt(set, w) && c.tel != nil {
+					c.tel.Emit(telemetry.Event{
+						Kind: telemetry.KindCacheEvict, Level: uint8(li + 1),
+						Cycle: c.Cycle, Addr: set,
+					})
+				}
 			}
 		}
 	}
 }
+
+// AttachTelemetry connects an event recorder to the core and its cache
+// hierarchy. Pass nil to detach. The hierarchy's event clock points at
+// the core's cycle counter so cache events carry core time (speculate
+// temporarily repoints it at the episode-local clock).
+func (c *CPU) AttachTelemetry(r *telemetry.Recorder) {
+	c.tel = r
+	c.Caches.Tel = r
+	if r != nil {
+		c.Caches.Clock = &c.Cycle
+	} else {
+		c.Caches.Clock = nil
+	}
+}
+
+// Telemetry returns the attached recorder (nil when disabled).
+func (c *CPU) Telemetry() *telemetry.Recorder { return c.tel }
+
+// SetProbeWindow registers [lo,hi) as the covert-channel probe array;
+// loads inside it (retired or speculative) emit KindCovertProbe events.
+func (c *CPU) SetProbeWindow(lo, hi uint64) { c.probeLo, c.probeHi = lo, hi }
+
+// SetSmashWatch registers [addr,addr+size) as the watched return-address
+// slot; plain stores overlapping it emit KindStackSmash events.
+func (c *CPU) SetSmashWatch(addr, size uint64) { c.smashLo, c.smashHi = addr, addr+size }
 
 // Config returns the core's configuration.
 func (c *CPU) Config() Config { return c.cfg }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 )
 
 // ErrHalted is returned by Step when the core has already halted.
@@ -39,10 +40,36 @@ func (c *CPU) Step() error {
 	if c.noiseNext != 0 {
 		c.interfere()
 	}
+	if c.OnRetire != nil || c.tel != nil {
+		c.retireHooks(pc, in)
+	}
+	return nil
+}
+
+// retireHooks runs the observers of a retired instruction: the OnRetire
+// callback and the telemetry retire event. It is outlined so Step pays
+// one fused branch — benchmarked: a second independent branch-plus-call
+// in Step's tail costs several percent of simulator throughput even
+// when never taken.
+//
+//go:noinline
+func (c *CPU) retireHooks(pc uint64, in isa.Instruction) {
 	if c.OnRetire != nil {
 		c.OnRetire(pc, in)
 	}
-	return nil
+	if c.tel != nil {
+		c.telEmit(telemetry.KindRetire, c.Cycle, pc, 0, uint64(in.Op))
+	}
+}
+
+// telEmit is the shared outlined emit behind every core hook site: the
+// disabled path at each site stays a bare nil check (plus at most a
+// window compare), and the Event construction never occupies a hot
+// function's code footprint.
+//
+//go:noinline
+func (c *CPU) telEmit(kind telemetry.Kind, cyc, pc, addr, val uint64) {
+	c.tel.Emit(telemetry.Event{Kind: kind, Cycle: cyc, PC: pc, Addr: addr, Val: val})
 }
 
 // Run executes until HALT or until maxInstr instructions retire,
@@ -209,6 +236,9 @@ func (c *CPU) execute(in isa.Instruction) error {
 		}
 		lat, _ := c.Caches.Access(addr)
 		c.loads++
+		if addr < c.probeHi && addr >= c.probeLo && c.tel != nil {
+			c.telEmit(telemetry.KindCovertProbe, c.Cycle, c.PC, addr, lat)
+		}
 		issue := c.Cycle
 		c.Cycle++
 		c.Regs[in.Rd] = v
@@ -229,6 +259,15 @@ func (c *CPU) execute(in isa.Instruction) error {
 		}
 		c.Caches.Access(addr) // write-allocate
 		c.stores++
+		if addr < c.smashHi && c.tel != nil {
+			end := addr + 8
+			if in.Op == isa.STOREB {
+				end = addr + 1
+			}
+			if end > c.smashLo {
+				c.telEmit(telemetry.KindStackSmash, c.Cycle, c.PC, addr, c.Regs[in.Rs2])
+			}
+		}
 		c.Cycle++
 		c.PC = c.next()
 
@@ -416,6 +455,9 @@ func (c *CPU) condBranch(in isa.Instruction) {
 		c.Cycle += c.cfg.MispredictPenalty
 	}
 	c.BP.Cond.Update(pc, actual)
+	if pred != actual && c.tel != nil {
+		c.telEmit(telemetry.KindBranchMispredict, c.Cycle, pc, actualPC, 0)
+	}
 	c.PC = actualPC
 }
 
@@ -448,6 +490,9 @@ func (c *CPU) indirect(rs1 uint8, target uint64) {
 		c.Cycle += c.cfg.MispredictPenalty
 	}
 	c.BP.BTB.Update(pc, target)
+	if !(ok && pred == target) && c.tel != nil {
+		c.telEmit(telemetry.KindBranchMispredict, c.Cycle, pc, target, pred)
+	}
 }
 
 // ret pops the architectural return address, predicting through the RSB.
@@ -481,6 +526,11 @@ func (c *CPU) ret() error {
 		}
 	}
 	c.regReady[isa.RegSP] = c.Cycle
+	if !(ok && pred == actual) && c.tel != nil {
+		// An RSB-contradicting RET is the micro-architectural fingerprint
+		// of a pivoted (ROP) return.
+		c.telEmit(telemetry.KindRetPivot, c.Cycle, c.PC, actual, pred)
+	}
 	c.PC = actual
 	return nil
 }

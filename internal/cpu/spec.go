@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 )
 
 // specState is the transient copy of architectural state a wrong-path
@@ -41,14 +42,23 @@ func (c *CPU) speculate(pc, deadline uint64) {
 	}
 	cyc := c.Cycle
 
+	if c.tel != nil {
+		c.telEmit(telemetry.KindSpecEnter, c.Cycle, pc, 0, deadline)
+		// Repoint the hierarchy's event clock at the episode-local cycle
+		// so wrong-path cache fills nest inside the episode's trace slice;
+		// restored (with the squash emission) before returning.
+		c.Caches.Clock = &cyc
+	}
+
 	wait := func(r uint8) {
 		if s.ready[r] > cyc {
 			cyc = s.ready[r]
 		}
 	}
 
+	n := 0
 loop:
-	for n := 0; n < c.cfg.SpecWindow && cyc < deadline; n++ {
+	for ; n < c.cfg.SpecWindow && cyc < deadline; n++ {
 		in, ok := c.fetchDecode(pc)
 		if !ok {
 			var err error
@@ -119,6 +129,10 @@ loop:
 				s.filled = append(s.filled, addr)
 			}
 			c.specLoads++
+			if addr < c.probeHi && addr >= c.probeLo && c.tel != nil {
+				// The speculative transmit into the covert channel.
+				c.telEmit(telemetry.KindCovertProbe, cyc, pc, addr, lat)
+			}
 			issue := cyc
 			cyc++
 			s.regs[in.Rd] = v
@@ -258,6 +272,10 @@ loop:
 		for _, addr := range s.filled {
 			c.Caches.Flush(addr)
 		}
+	}
+	if c.tel != nil {
+		c.telEmit(telemetry.KindSpecSquash, cyc, pc, 0, uint64(n))
+		c.Caches.Clock = &c.Cycle
 	}
 }
 

@@ -195,7 +195,9 @@ func (d *Debugger) CallStack() []Frame {
 }
 
 // DumpState writes a GDB-style state report: registers, the call stack,
-// and the last n trace entries, all symbolised.
+// and the last lastN trace entries, all symbolised. lastN == 0 omits
+// the retirement tail entirely — for callers that dump the unified
+// telemetry timeline (DumpEvents) instead.
 func (d *Debugger) DumpState(w io.Writer, lastN int) {
 	c := d.cpu
 	fmt.Fprintf(w, "pc  = %-24s cycle=%d instret=%d\n", d.Symbolize(c.PC), c.Cycle, c.Instret())
@@ -218,6 +220,9 @@ func (d *Debugger) DumpState(w io.Writer, lastN int) {
 	for _, f := range d.stack {
 		fmt.Fprintf(w, "  %s -> %s (ret %s)\n",
 			d.Symbolize(f.CallPC), d.Symbolize(f.TargetPC), d.Symbolize(f.Return))
+	}
+	if lastN == 0 {
+		return
 	}
 	tr := d.Trace()
 	if lastN > 0 && len(tr) > lastN {

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/mibench"
+	"repro/internal/telemetry"
 )
 
 // The golden determinism contract of the parallel experiment engine:
@@ -102,6 +104,39 @@ func TestDeterminismTable1(t *testing.T) {
 	rows4b, csv4b := run(4)
 	if !reflect.DeepEqual(rows4, rows4b) || !bytes.Equal(csv4, csv4b) {
 		t.Error("two Workers=4 Table1 runs with the same seed differ")
+	}
+}
+
+// TestDeterminismManifest extends the contract to telemetry: the run
+// manifest — config block, metrics snapshot, per-kind event totals —
+// must be byte-identical across worker counts once the volatile fields
+// (timings, build, host) and the worker count itself are zeroed. This
+// holds because event counts are monotonic sums over per-machine
+// emissions, independent of ring capacity and emit interleaving.
+func TestDeterminismManifest(t *testing.T) {
+	build := func(workers int) []byte {
+		cfg := detCfg(workers)
+		cfg.Telemetry = telemetry.NewRecorder(256) // tiny ring: counts must not care
+		cfg.Metrics = telemetry.NewRegistry()
+		if _, err := cfg.AttackCorpus(24); err != nil {
+			t.Fatal(err)
+		}
+		m := cfg.Manifest("experiments-test", nil)
+		cfg.FinishManifest(m, time.Now())
+		m.ZeroVolatile()
+		m.Workers = 0
+		out, err := m.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	m1, m4 := build(1), build(4)
+	if !bytes.Equal(m1, m4) {
+		t.Errorf("manifests differ between Workers=1 and Workers=4:\n%s\nvs\n%s", m1, m4)
+	}
+	if m4b := build(4); !bytes.Equal(m4, m4b) {
+		t.Error("two Workers=4 manifests with the same seed differ")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/rop"
 	"repro/internal/sched"
 	"repro/internal/spectre"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -76,10 +77,25 @@ type Config struct {
 	// value — parallelism never changes the numbers, only the
 	// wall-clock.
 	Workers int
+	// Telemetry, when non-nil, is attached to every machine the drivers
+	// build (and to the worker pool): each core streams typed events
+	// into the shared recorder. Per-kind event totals stay deterministic
+	// for any Workers value; ring *contents* interleave.
+	Telemetry *telemetry.Recorder
+	// Metrics, when non-nil, accumulates named counters (pool stats,
+	// end-of-run PMU publication) for the run manifest.
+	Metrics *telemetry.Registry
 }
 
 // workers resolves the configured fan-out width.
 func (cfg Config) workers() int { return sched.Workers(cfg.Workers) }
+
+// ctx returns the context experiment drivers hand to the worker pool,
+// carrying the configured telemetry sinks (both nil-safe).
+func (cfg Config) ctx() context.Context {
+	return telemetry.WithRegistry(
+		telemetry.NewContext(context.Background(), cfg.Telemetry), cfg.Metrics)
+}
 
 // DefaultConfig returns the configuration used by the cmd tools.
 func DefaultConfig() Config {
@@ -104,7 +120,16 @@ func (cfg Config) machine(seed int64) *vm.Machine {
 	mc.CPU = cfg.CPU
 	mc.ASLR = true
 	mc.ASLRSeed = seed
-	return vm.New(mc)
+	mc.Telemetry = cfg.Telemetry
+	m := vm.New(mc)
+	if cfg.Telemetry != nil {
+		// Annotate each mapped image: if it carries the covert-channel
+		// probe array, register its (ASLR-slid) window with this core.
+		m.OnLoad = func(name string, img *isa.Image) {
+			spectre.AnnotateProbe(m.CPU, img)
+		}
+	}
+	return m
 }
 
 // sampler profiles the full 56-event catalogue; experiments project to
@@ -243,6 +268,7 @@ func (cfg Config) crRun(w mibench.Workload, spec AttackSpec, seed int64) (*CRRes
 	if err != nil {
 		return nil, fmt.Errorf("experiments: rop plan: %w", err)
 	}
+	plan.Emit(cfg.Telemetry)
 	if _, err := m.SetArg(plan.Payload); err != nil {
 		return nil, err
 	}
@@ -353,7 +379,7 @@ func (cfg Config) BenignCorpus(workloads []mibench.Workload, total int) (*trace.
 		return set, nil
 	}
 	quota := (total + len(workloads) - 1) / len(workloads)
-	parts, err := sched.Map(context.Background(), cfg.workers(), len(workloads),
+	parts, err := sched.Map(cfg.ctx(), cfg.workers(), len(workloads),
 		func(_ context.Context, i int) (*trace.Set, error) {
 			w := workloads[i]
 			part := trace.NewSet(pmu.AllEvents())
@@ -393,7 +419,7 @@ func (cfg Config) AttackCorpus(total int) (*trace.Set, error) {
 		return set, nil
 	}
 	quota := (total + len(variants) - 1) / len(variants)
-	parts, err := sched.Map(context.Background(), cfg.workers(), len(variants),
+	parts, err := sched.Map(cfg.ctx(), cfg.workers(), len(variants),
 		func(_ context.Context, i int) (*trace.Set, error) {
 			v := variants[i]
 			part := trace.NewSet(pmu.AllEvents())

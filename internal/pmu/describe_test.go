@@ -1,0 +1,107 @@
+package pmu
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/telemetry"
+)
+
+// wantEventNames pins the catalogue's wire names IN ORDER. The manifest
+// schema, trace CSV headers and registry metric names all key on these
+// strings, so renaming or reordering an event is a breaking change that
+// must be made deliberately (update this list AND bump the manifest
+// schema / regenerate goldens).
+var wantEventNames = []string{
+	// The first six, in order, are the paper's feature set.
+	"total_cache_misses",
+	"total_cache_accesses",
+	"total_branch_instructions",
+	"branch_mispredictions",
+	"total_instructions",
+	"total_cycles",
+
+	"l1_accesses",
+	"l1_misses",
+	"l1_evictions",
+	"l1_flush_hits",
+	"l2_accesses",
+	"l2_misses",
+	"l2_evictions",
+	"l2_flush_hits",
+	"loads",
+	"stores",
+	"memory_ops",
+	"cond_branches",
+	"cond_mispredictions",
+	"returns",
+	"return_mispredictions",
+	"indirect_branches",
+	"indirect_mispredictions",
+	"direct_branches",
+	"spec_instructions",
+	"spec_loads",
+	"squashes",
+	"clflush_instructions",
+	"fence_instructions",
+	"syscalls",
+	"stall_cycles",
+	"total_evictions",
+	"total_flush_hits",
+
+	"ipc",
+	"l1_miss_rate",
+	"l2_miss_rate",
+	"cache_miss_ratio",
+	"branch_mispred_rate",
+	"cond_mispred_rate",
+	"return_mispred_rate",
+	"load_fraction",
+	"store_fraction",
+	"spec_fraction",
+	"stall_fraction",
+	"squash_rate",
+
+	"clflush_per_kinstr",
+	"fences_per_kinstr",
+	"syscalls_per_kinstr",
+	"spec_loads_per_kinstr",
+	"returns_per_kinstr",
+	"indirect_per_kinstr",
+	"branches_per_kinstr",
+	"misses_per_kinstr",
+	"evicts_per_kinstr",
+	"l2_access_per_kinstr",
+	"cycles_per_branch",
+}
+
+func TestEventNamesAndOrderPinned(t *testing.T) {
+	events := AllEvents()
+	if len(events) != len(wantEventNames) {
+		t.Fatalf("catalogue has %d events, pinned list has %d — update wantEventNames deliberately",
+			len(events), len(wantEventNames))
+	}
+	for i, e := range events {
+		if e.String() != wantEventNames[i] {
+			t.Errorf("event %d = %q, pinned %q", i, e.String(), wantEventNames[i])
+		}
+	}
+}
+
+func TestPublishBridgesSnapshotToRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	d := cpu.Snapshot{Cycles: 100, Instructions: 50, Loads: 10}
+	Publish(reg, "pmu.", d)
+	vals := reg.Values()
+	if len(vals) != int(NumEvents) {
+		t.Fatalf("registry holds %d metrics, want %d", len(vals), NumEvents)
+	}
+	if vals["pmu.total_instructions"] != 50 {
+		t.Errorf("pmu.total_instructions = %v, want 50", vals["pmu.total_instructions"])
+	}
+	if vals["pmu.ipc"] != 0.5 {
+		t.Errorf("pmu.ipc = %v, want 0.5", vals["pmu.ipc"])
+	}
+	// Nil registry must be a safe no-op.
+	Publish(nil, "pmu.", d)
+}

@@ -1,0 +1,20 @@
+package pmu
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/telemetry"
+)
+
+// Publish writes every catalogue event extracted from the snapshot into
+// the metrics registry as "<prefix><event-name>" gauges — the bridge
+// that unifies the core's scattered counters (BP stats, cache stats,
+// PMU-derived rates) under the telemetry registry's snapshot API.
+// A nil registry is a no-op.
+func Publish(reg *telemetry.Registry, prefix string, d cpu.Snapshot) {
+	if reg == nil {
+		return
+	}
+	for _, e := range AllEvents() {
+		reg.Set(prefix+e.String(), Extract(d, e))
+	}
+}

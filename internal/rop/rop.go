@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/gadget"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -277,6 +278,19 @@ type Plan struct {
 	Chain   *gadget.Chain
 	Payload []byte
 	Layout  PayloadLayout
+}
+
+// Emit records the plan on the telemetry stream: Val is the chain
+// length in words, Addr the payload size in bytes.
+func (p *Plan) Emit(rec *telemetry.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Emit(telemetry.Event{
+		Kind: telemetry.KindRopPlan,
+		Addr: uint64(len(p.Payload)),
+		Val:  uint64(len(p.Chain.Words())),
+	})
 }
 
 // PlanInjection scans the loaded host image, builds the EXEC chain for

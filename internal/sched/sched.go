@@ -42,6 +42,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Workers resolves a requested worker count: values <= 0 select
@@ -101,6 +103,11 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Telemetry sinks ride the context (the Map signature predates them);
+	// both are nil-safe, so unobserved pools pay only these two lookups.
+	rec := telemetry.FromContext(ctx)
+	reg := telemetry.RegistryFrom(ctx)
+
 	errs := make([]error, n)
 	var (
 		wg   sync.WaitGroup
@@ -110,8 +117,16 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 		defer func() {
 			if r := recover(); r != nil {
 				err = &PanicError{Task: task, Value: r, Stack: debug.Stack()}
+				reg.Inc("sched.panics")
 			}
+			if rec != nil {
+				rec.Emit(telemetry.Event{Kind: telemetry.KindTaskStop, Addr: uint64(task)})
+			}
+			reg.Inc("sched.tasks_completed")
 		}()
+		if rec != nil {
+			rec.Emit(telemetry.Event{Kind: telemetry.KindTaskStart, Addr: uint64(task)})
+		}
 		results[task], err = fn(pctx, task)
 		return err
 	}

@@ -26,9 +26,28 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/perturb"
 )
+
+// ProbeArraySize is the byte size of the `probe` covert-channel array
+// every generated attack binary declares (256 slots × 512-byte stride).
+const ProbeArraySize = 131072
+
+// AnnotateProbe registers the mapped image's probe array as the core's
+// covert-channel window, so loads touching it — the speculative
+// transmit and the timed reload alike — emit KindCovertProbe telemetry
+// events. A no-op when the image lacks the symbol (not an attack
+// binary) or no recorder is attached.
+func AnnotateProbe(c *cpu.CPU, img *isa.Image) {
+	if c.Telemetry() == nil {
+		return
+	}
+	if base, ok := img.Symbol("probe"); ok {
+		c.SetProbeWindow(base, base+ProbeArraySize)
+	}
+}
 
 // Variant selects the mistrained prediction structure.
 type Variant int

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package telemetry
+
+// processCPUSeconds is unavailable on this platform.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package telemetry
+
+import "syscall"
+
+// processCPUSeconds returns user+system CPU time consumed by the
+// process so far, or 0 when the platform can't report it.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

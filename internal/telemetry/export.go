@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// Perfetto and about://tracing load). ts/dur are in the format's
+// microsecond unit; we map one simulated cycle to one microsecond.
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func hexArg(v uint64) string { return fmt.Sprintf("%#x", v) }
+
+// WriteChromeTrace exports events as Chrome trace-event JSON.
+//
+// Track layout: pid 0 / tid 0 carries the core's timeline — speculation
+// episodes as B/E duration slices with the cache fills, flushes, probes
+// and mispredicts that occur inside them nested by timestamp; pid 1
+// carries one tid per scheduler task (B/E per pool task). Retirement
+// events are omitted (one slice per instruction would drown the
+// timeline; use WriteJSONL for the full stream). Squash events whose
+// opening SpecEnter was already overwritten in the ring are dropped so
+// the B/E stack stays balanced.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events))
+	depth := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindRetire:
+			// Omitted: see doc comment.
+		case KindSpecEnter:
+			depth++
+			out = append(out, chromeEvent{
+				Name: "speculation", Cat: "spec", Ph: "B", TS: ev.Cycle,
+				Args: map[string]any{"pc": hexArg(ev.PC), "deadline": ev.Val},
+			})
+		case KindSpecSquash:
+			if depth == 0 {
+				continue
+			}
+			depth--
+			out = append(out, chromeEvent{
+				Name: "speculation", Cat: "spec", Ph: "E", TS: ev.Cycle,
+				Args: map[string]any{"squashed": ev.Val},
+			})
+		case KindCacheFill:
+			name := "fill.L2"
+			if ev.Level >= 3 {
+				name = "fill.MEM"
+			}
+			out = append(out, chromeEvent{
+				Name: name, Cat: "cache", Ph: "X", TS: ev.Cycle, Dur: ev.Val,
+				Args: map[string]any{"addr": hexArg(ev.Addr)},
+			})
+		case KindCacheEvict, KindCacheFlush, KindBranchMispredict,
+			KindRetPivot, KindStackSmash, KindCovertProbe, KindExec, KindRopPlan:
+			out = append(out, chromeEvent{
+				Name: ev.Kind.String(), Cat: "event", Ph: "i", TS: ev.Cycle, S: "t",
+				Args: map[string]any{
+					"pc": hexArg(ev.PC), "addr": hexArg(ev.Addr), "val": ev.Val,
+				},
+			})
+		case KindTaskStart:
+			out = append(out, chromeEvent{
+				Name: "task", Cat: "sched", Ph: "B", TS: ev.Seq, PID: 1, TID: ev.Addr,
+			})
+		case KindTaskStop:
+			out = append(out, chromeEvent{
+				Name: "task", Cat: "sched", Ph: "E", TS: ev.Seq, PID: 1, TID: ev.Addr,
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// jsonlEvent is the compact JSONL wire form of one event.
+type jsonlEvent struct {
+	Seq   uint64 `json:"seq"`
+	Kind  string `json:"kind"`
+	Cycle uint64 `json:"cycle"`
+	PC    uint64 `json:"pc,omitempty"`
+	Addr  uint64 `json:"addr,omitempty"`
+	Val   uint64 `json:"val,omitempty"`
+	Level uint8  `json:"level,omitempty"`
+}
+
+// WriteJSONL exports every event (retirements included) as one JSON
+// object per line — the machine-readable event log.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(jsonlEvent{
+			Seq: ev.Seq, Kind: ev.Kind.String(), Cycle: ev.Cycle,
+			PC: ev.PC, Addr: ev.Addr, Val: ev.Val, Level: ev.Level,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportFile creates path (making parent directories) and streams the
+// given exporter into it — the shared tail of every CLI's -trace /
+// -trace-events flag.
+func exportFile(path string, export func(io.Writer) error) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteChromeTraceFile writes a Chrome trace to path (parents created).
+func WriteChromeTraceFile(path string, events []Event) error {
+	return exportFile(path, func(w io.Writer) error { return WriteChromeTrace(w, events) })
+}
+
+// WriteJSONLFile writes a JSONL event log to path (parents created).
+func WriteJSONLFile(path string, events []Event) error {
+	return exportFile(path, func(w io.Writer) error { return WriteJSONL(w, events) })
+}
+
+// ReadJSONL parses a log written by WriteJSONL back into events
+// (round-trip aid for tests and offline tooling).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	byName := map[string]Kind{}
+	for k := Kind(0); k < NumKinds; k++ {
+		byName[k.String()] = k
+	}
+	for dec.More() {
+		var je jsonlEvent
+		if err := dec.Decode(&je); err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl: %w", err)
+		}
+		k, ok := byName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("telemetry: jsonl: unknown kind %q", je.Kind)
+		}
+		out = append(out, Event{
+			Seq: je.Seq, Kind: k, Cycle: je.Cycle,
+			PC: je.PC, Addr: je.Addr, Val: je.Val, Level: je.Level,
+		})
+	}
+	return out, nil
+}

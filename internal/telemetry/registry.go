@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry unifies the platform's scattered counters (branch-unit
+// stats, cache stats, PMU deltas, scheduler pool stats) behind named
+// counters and gauges with a deterministic snapshot API. Counters are
+// monotonic uint64 accumulators; gauges are last-write-wins float64
+// values. All methods are safe for concurrent use; Snapshot orders by
+// name so serialised output is byte-stable.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	gauges   map[string]float64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]uint64{},
+		gauges:   map[string]float64{},
+	}
+}
+
+// Add increments the named counter by delta. A nil registry is a no-op
+// (the disabled state, mirroring the recorder's contract).
+func (r *Registry) Add(name string, delta uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Set stores the named gauge value (last write wins).
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Metric is one named value in a snapshot.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Counter distinguishes monotonic counters from gauges.
+	Counter bool `json:"counter,omitempty"`
+}
+
+// Snapshot returns every metric sorted by name. Counter values are
+// widened to float64 (exact below 2^53, far beyond any simulated run).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges))
+	for name, v := range r.counters {
+		out = append(out, Metric{Name: name, Value: float64(v), Counter: true})
+	}
+	for name, v := range r.gauges {
+		out = append(out, Metric{Name: name, Value: v})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Values returns the snapshot as a name->value map (the manifest's
+// metrics block; encoding/json sorts map keys, keeping output stable).
+func (r *Registry) Values() map[string]float64 {
+	snap := r.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(snap))
+	for _, m := range snap {
+		out[m.Name] = m.Value
+	}
+	return out
+}
+
+// Write renders the snapshot as aligned "name value" lines (debug/CLI
+// output).
+func (r *Registry) Write(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		kind := "gauge"
+		if m.Counter {
+			kind = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "%-40s %-8s %g\n", m.Name, kind, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hammers the CSV reader with arbitrary bytes (the parser
+// guards the corpus-loading path, so junk must error — never panic) and
+// checks the canonicalisation property on accepted inputs: parse →
+// write → parse → write must be a fixed point.
+func FuzzReadCSV(f *testing.F) {
+	var golden bytes.Buffer
+	if err := sampleSet().WriteCSV(&golden); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(golden.String())
+	f.Add("app,label,total_cycles\na,0,1\n")
+	f.Add("app,label,total_cycles,ipc\n\"a,b\",1,2.5,NaN\n")
+	f.Add("app,label,bogus_event\na,0,1\n")
+	f.Add("x,y\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := s.WriteCSV(&first); err != nil {
+			t.Fatalf("accepted input failed to serialise: %v", err)
+		}
+		s2, err := ReadCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\ninput: %q\noutput: %q", err, in, first.String())
+		}
+		var second bytes.Buffer
+		if err := s2.WriteCSV(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write->read->write not a fixed point:\n%q\nvs\n%q", first.String(), second.String())
+		}
+	})
+}

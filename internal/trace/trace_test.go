@@ -144,6 +144,47 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCSVRoundTripNoisy covers the full-width catalogue with
+// noise-model samples: AddNoisy's multiplicative jitter produces
+// irrational-looking float64s, and the 'g'/-1 serialisation must bring
+// every bit back.
+func TestCSVRoundTripNoisy(t *testing.T) {
+	s := NewSet(pmu.Features(int(pmu.NumEvents)))
+	samples := make([]pmu.Sample, 5)
+	for i := range samples {
+		smp := make(pmu.Sample, int(pmu.NumEvents))
+		for j := range smp {
+			smp[j] = float64(i*len(smp) + j + 1)
+		}
+		samples[i] = smp
+	}
+	s.AddNoisy("noisy-app", LabelBenign, samples, 0.08, 42)
+	s.AddNoisy("noisy-atk", LabelAttack, samples, 0.08, 43)
+
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || len(got.Events) != len(s.Events) {
+		t.Fatalf("round trip shape %dx%d != %dx%d", got.Len(), len(got.Events), s.Len(), len(s.Events))
+	}
+	for i := range s.Data.X {
+		if got.Apps[i] != s.Apps[i] || got.Data.Y[i] != s.Data.Y[i] {
+			t.Fatalf("row %d metadata mismatch", i)
+		}
+		for j := range s.Data.X[i] {
+			if got.Data.X[i][j] != s.Data.X[i][j] {
+				t.Fatalf("row %d col %d (%s): %v != %v — noise fields must survive bit-exact",
+					i, j, s.Events[j], got.Data.X[i][j], s.Data.X[i][j])
+			}
+		}
+	}
+}
+
 func TestReadCSVRejectsJunk(t *testing.T) {
 	cases := map[string]string{
 		"bad header":    "x,y,z\n",

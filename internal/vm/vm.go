@@ -16,6 +16,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // Syscall numbers (placed in R0 before SYSCALL).
@@ -59,6 +60,12 @@ type Config struct {
 	// re-enabling classic shellcode injection — the configuration whose
 	// absence forces the paper's code-reuse approach.
 	StackExecutable bool
+
+	// Telemetry, when non-nil, is attached to the core (and its cache
+	// hierarchy) at construction, and the machine watches the word just
+	// below the initial stack pointer — the first saved-return-address
+	// slot an overflow reaches — for stack-smash stores.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultConfig returns a machine configuration with the baseline core.
@@ -120,6 +127,9 @@ func New(cfg Config) *Machine {
 	}
 	m.CPU = cpu.New(m.Mem, cfg.CPU)
 	m.CPU.OnSyscall = m.syscall
+	if cfg.Telemetry != nil {
+		m.CPU.AttachTelemetry(cfg.Telemetry)
+	}
 
 	// Stack: the top page is an unmapped guard. Below it sits a mapped
 	// "environment area" above the initial SP — the analogue of argv/
@@ -136,6 +146,11 @@ func New(cfg Config) *Machine {
 	// Argument area.
 	if err := m.Mem.Protect(ArgBase, ArgSize, mem.PermRW); err != nil {
 		panic(err)
+	}
+	if cfg.Telemetry != nil {
+		// The word just below the initial SP holds the first saved return
+		// address a main-frame overflow can reach.
+		m.CPU.SetSmashWatch(m.stackTop-8, 8)
 	}
 	return m
 }
@@ -296,12 +311,24 @@ func (m *Machine) syscall(c *cpu.CPU) error {
 			entry = a
 		}
 		m.ExecLog = append(m.ExecLog, path)
+		if tel := c.Telemetry(); tel != nil {
+			tel.Emit(telemetry.Event{
+				Kind: telemetry.KindExec, Cycle: c.Cycle, PC: c.PC, Addr: entry,
+			})
+		}
 		// exec does not return: fresh stack, jump to the new entry.
 		c.Regs[isa.RegSP] = m.stackTop
 		c.PC = entry
 	case SysAbort:
 		m.ExitCode = c.Regs[1]
 		m.Aborted = true
+		if tel := c.Telemetry(); tel != nil && c.Regs[1] == AbortStackSmash {
+			// The canary detected the corruption: record it as a smash
+			// event even when the raw store was outside the watch window.
+			tel.Emit(telemetry.Event{
+				Kind: telemetry.KindStackSmash, Cycle: c.Cycle, PC: c.PC, Val: c.Regs[1],
+			})
+		}
 		c.Halt()
 	default:
 		return fmt.Errorf("vm: unknown syscall %d", c.Regs[0])

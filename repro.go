@@ -38,7 +38,9 @@ import (
 	"repro/internal/mibench"
 	"repro/internal/ml"
 	"repro/internal/perturb"
+	"repro/internal/pmu"
 	"repro/internal/spectre"
+	"repro/internal/telemetry"
 )
 
 // Options configures the experiment drivers. The zero value is usable:
@@ -197,6 +199,13 @@ type AttackOptions struct {
 	// Workers bounds the corpus-building parallelism when a Detector is
 	// set (0 = all cores). Results are byte-identical for any value.
 	Workers int
+	// Telemetry, when non-nil, records typed micro-architectural events
+	// from the attack machine (speculation episodes, cache fills, the
+	// RET pivot, covert-channel probes) for trace export.
+	Telemetry *telemetry.Recorder
+	// Metrics, when non-nil, receives the run's end-of-run PMU metrics
+	// under the "pmu." prefix plus pool counters, for the run manifest.
+	Metrics *telemetry.Registry
 }
 
 // AttackReport describes what one end-to-end CR-Spectre run did.
@@ -252,6 +261,8 @@ func RunAttack(o AttackOptions) (*AttackReport, error) {
 	if o.Workers > 0 {
 		cfg.Workers = o.Workers
 	}
+	cfg.Telemetry = o.Telemetry
+	cfg.Metrics = o.Metrics
 	spec := experiments.AttackSpec{Variant: variant}
 	if o.Perturbed {
 		pp := perturb.Paper()
@@ -278,6 +289,7 @@ func RunAttack(o AttackOptions) (*AttackReport, error) {
 		rep.GadgetsFound = len(cat.All())
 	}
 	rep.ChainWords = cr.ChainWords
+	pmu.Publish(o.Metrics, "pmu.", cr.Machine.CPU.Snapshot())
 
 	if o.Detector != "" {
 		clf, ok := ml.ByName(o.Detector, cfg.Seed)
