@@ -1,0 +1,250 @@
+// Command difftest soak-tests the optimized speculative core against the
+// reference interpreter (internal/oracle) on random programs
+// (internal/progen). Each shard generates a program from a
+// splitmix64-derived per-shard seed, picks a micro-architectural posture
+// from a fixed ring (speculation on/off, InvisiSpec, conditional fencing,
+// tiny windows, gshare, cache noise, privileged flush), and lock-steps
+// the two implementations, comparing registers, flags, PC, and dirtied
+// memory at every retire. On divergence the program is shrunk to the
+// shortest failing prefix and a repro report is written.
+//
+// Usage:
+//
+//	difftest -programs 512 -workers 8         # fixed-count run
+//	difftest -minutes 5 -seed 42              # CI soak: waves until the deadline
+//	difftest -selftest                        # prove the harness catches bugs
+//	difftest -repro repro.txt -minutes 2      # write the minimized repro here
+//
+// Exit status: 0 clean, 1 divergence (or selftest failure), 2 usage.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/oracle"
+	"repro/internal/progen"
+	"repro/internal/sched"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, err)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// configRing is the posture sweep; shard i runs under configRing[i%len].
+// Architectural results must be identical under every entry — that
+// includes post-squash state after wrong-path speculation, the
+// speculation-consistency mode of DESIGN.md §8.
+var configRing = []struct {
+	name string
+	cfg  cpu.Config
+}{
+	{"baseline", cpu.DefaultConfig()},
+	{"no-spec", cpu.Config{SpecWindow: 64, MispredictPenalty: 24}},
+	{"invisispec", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, SquashCacheEffects: true}},
+	{"fence-cond", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, FenceConditional: true}},
+	{"tiny-window", cpu.Config{SpecWindow: 2, MispredictPenalty: 3, SpeculationEnabled: true}},
+	{"gshare-prefetch", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, Predictor: "gshare", NextLinePrefetch: true}},
+	{"noisy", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, NoisePeriod: 50, NoiseSeed: 7}},
+	{"priv-flush", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, PrivilegedFlush: true}},
+}
+
+// shardResult is one program's outcome, aggregated into the run summary.
+type shardResult struct {
+	seed    int64
+	config  string
+	steps   uint64
+	halted  bool
+	faulted bool
+	budget  bool
+	div     *oracle.Divergence
+	prog    progen.Program
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("difftest", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		seed     = fs.Int64("seed", 1, "base seed; shard seeds derive from it")
+		programs = fs.Int("programs", 256, "programs per run (fixed-count mode)")
+		minutes  = fs.Float64("minutes", 0, "soak mode: run waves of programs until this many minutes elapse")
+		workers  = fs.Int("workers", 0, "worker goroutines (0 = all cores)")
+		maxInstr = fs.Uint64("maxinstr", 200_000, "per-program retired-instruction budget")
+		reproOut = fs.String("repro", "", "also write the minimized repro report to this file")
+		selftest = fs.Bool("selftest", false, "inject a fast-path bug and require catch + minimize, then exit")
+		verbose  = fs.Bool("v", false, "per-wave progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *selftest {
+		return runSelftest(stdout)
+	}
+
+	start := time.Now()
+	deadline := time.Duration(float64(time.Minute) * *minutes)
+	var total, halted, faulted, budget int
+	var instret uint64
+	wave := 0
+	const waveSize = 64
+
+	for {
+		n := waveSize
+		if deadline == 0 {
+			remaining := *programs - total
+			if remaining <= 0 {
+				break
+			}
+			if remaining < n {
+				n = remaining
+			}
+		} else if time.Since(start) >= deadline {
+			break
+		}
+		base := uint64(wave) * waveSize
+		results, err := sched.Map(context.Background(), *workers, n, func(_ context.Context, i int) (shardResult, error) {
+			shard := base + uint64(i)
+			s := sched.DeriveSeed(*seed, shard)
+			ring := configRing[shard%uint64(len(configRing))]
+			p := progen.Generate(s, progen.DefaultOptions())
+			res, err := oracle.RunProgram(p, ring.cfg, *maxInstr, nil)
+			if err != nil {
+				return shardResult{}, fmt.Errorf("shard %d (seed %d): %w", shard, s, err)
+			}
+			return shardResult{
+				seed: s, config: ring.name, steps: res.Steps,
+				halted: res.Halted, faulted: res.Fault != nil, budget: res.BudgetExhausted,
+				div: res.Div, prog: p,
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			total++
+			instret += r.steps
+			switch {
+			case r.div != nil:
+				return reportDivergence(stdout, *reproOut, r, *maxInstr)
+			case r.halted:
+				halted++
+			case r.faulted:
+				faulted++
+			case r.budget:
+				budget++
+			}
+		}
+		wave++
+		if *verbose {
+			fmt.Fprintf(stdout, "wave %d: %d programs, %.1fs elapsed\n", wave, total, time.Since(start).Seconds())
+		}
+	}
+
+	elapsed := time.Since(start).Seconds()
+	fmt.Fprintf(stdout, "difftest: %d programs (%d halted, %d faulted, %d budget-capped), %d instr pairs, %.1fs, divergences: 0\n",
+		total, halted, faulted, budget, instret, elapsed)
+	return nil
+}
+
+// reportDivergence minimizes the failing program and writes the repro
+// report; the returned error carries the headline so the process exits 1.
+func reportDivergence(stdout io.Writer, reproPath string, r shardResult, maxInstr uint64) error {
+	ring := cpu.DefaultConfig()
+	for _, c := range configRing {
+		if c.name == r.config {
+			ring = c.cfg
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "DIVERGENCE seed=%d config=%s\n%v\n", r.seed, r.config, r.div)
+	if min, n, mres, ok := oracle.Minimize(r.prog, ring, maxInstr, nil); ok {
+		fmt.Fprintf(&b, "minimized to %d instructions:\n%s%v\n", n, min.Disasm(n), mres.Div)
+	} else {
+		fmt.Fprintf(&b, "minimization failed to reproduce; full program (%d instructions):\n%s",
+			r.prog.NumInstr, r.prog.Disasm(0))
+	}
+	report := b.String()
+	fmt.Fprint(stdout, report)
+	if reproPath != "" {
+		if err := os.WriteFile(reproPath, []byte(report), 0o644); err != nil {
+			return fmt.Errorf("difftest: divergence found, and writing repro failed: %w", err)
+		}
+	}
+	return fmt.Errorf("difftest: divergence on seed %d (config %s)", r.seed, r.config)
+}
+
+// runSelftest proves the harness end to end: it injects a silent
+// corruption modelling a broken memory fast path and requires the
+// lock-step comparison to catch it and the reporter to minimize it to a
+// short prefix. A harness that cannot fail is not a test harness.
+func runSelftest(stdout io.Writer) error {
+	p, pre, storeIdx, err := brokenFastPathScenario()
+	if err != nil {
+		return err
+	}
+	cfg := cpu.DefaultConfig()
+	res, err := oracle.RunProgram(p, cfg, 100_000, pre)
+	if err != nil {
+		return err
+	}
+	if res.Clean() {
+		return errors.New("difftest: selftest: injected corruption was NOT detected")
+	}
+	_, n, mres, ok := oracle.Minimize(p, cfg, 100_000, pre)
+	if !ok || mres.Clean() {
+		return errors.New("difftest: selftest: minimizer failed to reproduce the divergence")
+	}
+	if n > 16 {
+		return fmt.Errorf("difftest: selftest: minimized to %d instructions, want <= 16", n)
+	}
+	fmt.Fprintf(stdout, "selftest: corruption at instr %d caught (%d reasons) and minimized to %d instructions\n",
+		storeIdx, len(res.Div.Reasons), n)
+	return nil
+}
+
+// brokenFastPathScenario builds a program whose 11th instruction is a
+// 64-bit store, plus a PreStep hook that silently clobbers another byte
+// on the store's page at that step — the observable signature of a
+// mis-masked Write64 fast path. The long tail of padding is what the
+// minimizer must discard.
+func brokenFastPathScenario() (progen.Program, oracle.PreStep, int, error) {
+	instrs := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 10, Imm: int64(progen.DataBase)},
+		{Op: isa.MOVI, Rd: 1, Imm: 0x1122334455667788},
+	}
+	for i := 0; i < 8; i++ {
+		instrs = append(instrs, isa.Instruction{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 1})
+	}
+	const storeIdx = 10
+	instrs = append(instrs, isa.Instruction{Op: isa.STORE, Rs1: 10, Rs2: 1, Imm: 64})
+	for i := 0; i < 48; i++ {
+		instrs = append(instrs, isa.Instruction{Op: isa.XOR, Rd: 3, Rs1: 3, Rs2: 2})
+	}
+	instrs = append(instrs, isa.Instruction{Op: isa.HALT})
+	p, err := progen.Craft(instrs, nil, false)
+	if err != nil {
+		return progen.Program{}, nil, 0, err
+	}
+	pre := func(step uint64, c *cpu.CPU, _ *oracle.Machine) {
+		if step == storeIdx {
+			_ = c.Mem.LoadRaw(progen.DataBase+80, []byte{0xEE})
+		}
+	}
+	return p, pre, storeIdx, nil
+}

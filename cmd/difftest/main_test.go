@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFixedCount(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-programs", "48", "-workers", "4", "-seed", "9"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "divergences: 0") {
+		t.Fatalf("missing clean summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "48 programs") {
+		t.Fatalf("did not run the requested program count:\n%s", out.String())
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	summary := func(workers string) string {
+		var out strings.Builder
+		if err := run([]string{"-programs", "32", "-workers", workers, "-seed", "5"}, &out); err != nil {
+			t.Fatalf("run -workers %s: %v", workers, err)
+		}
+		s := out.String()
+		// Strip the wall-clock field; everything else must be identical.
+		return s[:strings.LastIndex(s, " instr pairs")]
+	}
+	if a, b := summary("1"), summary("8"); a != b {
+		t.Fatalf("summaries differ across worker counts:\n%q\n%q", a, b)
+	}
+}
+
+func TestSelftest(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-selftest"}, &out); err != nil {
+		t.Fatalf("selftest: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "minimized to") {
+		t.Fatalf("selftest did not report minimization:\n%s", out.String())
+	}
+}
+
+func TestSoakModeRespectsDeadline(t *testing.T) {
+	var out strings.Builder
+	// ~0.6s soak: enough for at least one wave, far under test timeout.
+	if err := run([]string{"-minutes", "0.01", "-workers", "4"}, &out); err != nil {
+		t.Fatalf("soak: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "divergences: 0") {
+		t.Fatalf("soak summary missing:\n%s", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestReproFileUnwritableStillReports(t *testing.T) {
+	// The repro path is only touched on divergence; a clean run must not
+	// create it.
+	path := filepath.Join(t.TempDir(), "repro.txt")
+	var out strings.Builder
+	if err := run([]string{"-programs", "8", "-repro", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("repro file created on a clean run (stat err: %v)", err)
+	}
+}

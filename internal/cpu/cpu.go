@@ -229,11 +229,32 @@ func (c *CPU) SetProbeWindow(lo, hi uint64) { c.probeLo, c.probeHi = lo, hi }
 // slot; plain stores overlapping it emit KindStackSmash events.
 func (c *CPU) SetSmashWatch(addr, size uint64) { c.smashLo, c.smashHi = addr, addr+size }
 
+// SetDefenses flips the speculation-defense knobs on a live core, taking
+// effect at the next retired instruction: wrong-path execution,
+// InvisiSpec-style squash rollback, conditional-branch fencing, and
+// privileged CLFLUSH/MFENCE. It models a defender switching mitigations
+// mid-run (the response a detection system would trigger); structural
+// knobs — predictor family, noise, costs, window — stay as configured at
+// New. None of these switches may change architectural results, which
+// the differential oracle's transition tests pin down.
+func (c *CPU) SetDefenses(speculation, invisiSpec, fenceConditional, privilegedFlush bool) {
+	c.cfg.SpeculationEnabled = speculation
+	c.cfg.SquashCacheEffects = invisiSpec
+	c.cfg.FenceConditional = fenceConditional
+	c.cfg.PrivilegedFlush = privilegedFlush
+}
+
 // Config returns the core's configuration.
 func (c *CPU) Config() Config { return c.cfg }
 
 // Halted reports whether HALT (or a SysExit handler) stopped the core.
 func (c *CPU) Halted() bool { return c.halted }
+
+// Flags returns the architectural comparison flags (zero, signed
+// less-than, unsigned below). External checkers — the differential
+// oracle in particular — need them; they are not part of Snapshot
+// because goldens predate them.
+func (c *CPU) Flags() (z, lt, b bool) { return c.flagZ, c.flagLT, c.flagB }
 
 // Halt stops the core; used by syscall handlers implementing exit.
 func (c *CPU) Halt() { c.halted = true }

@@ -1,0 +1,78 @@
+package cpu_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/oracle"
+	"repro/internal/progen"
+)
+
+// The differential fuzz targets live in cpu's external test package: the
+// oracle imports cpu, so the wiring must sit on this side of the cycle.
+// Both targets assert the full lock-step contract — any divergence
+// between the optimized core and the reference interpreter fails.
+
+const fuzzBudget = 50_000
+
+// fuzzConfigs is a compact posture ring for fuzzing; the full ring lives
+// in cmd/difftest.
+var fuzzConfigs = []cpu.Config{
+	cpu.DefaultConfig(),
+	{SpecWindow: 64, MispredictPenalty: 24}, // speculation off
+	{SpecWindow: 2, MispredictPenalty: 3, SpeculationEnabled: true},
+	{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, SquashCacheEffects: true, Predictor: "gshare"},
+}
+
+// FuzzDifferential explores generator seeds: every well-formed random
+// program must run divergence-free under every posture.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(42), uint8(1))
+	f.Add(int64(-7), uint8(2))
+	f.Add(int64(999983), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, cfgPick uint8) {
+		cfg := fuzzConfigs[int(cfgPick)%len(fuzzConfigs)]
+		p := progen.Generate(seed, progen.DefaultOptions())
+		res, err := oracle.RunProgram(p, cfg, fuzzBudget, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Clean() {
+			t.Fatalf("seed %d cfg %d diverged after %d steps:\n%v\nprogram:\n%s",
+				seed, cfgPick, res.Steps, res.Div, p.Disasm(0))
+		}
+	})
+}
+
+// FuzzDifferentialMutated starts from a generated program and stomps
+// eight attacker-controlled bytes at an arbitrary (possibly misaligned)
+// code offset. The result is usually an illegal or wild program; the
+// contract is that both implementations take the *same* wrong turn —
+// identical faults, identical architectural state — which is exactly
+// where decoder-validation and predecode-coherence bugs hide.
+func FuzzDifferentialMutated(f *testing.F) {
+	f.Add(int64(1), uint32(0), uint64(0))
+	f.Add(int64(3), uint32(160), uint64(0xFFFFFFFF_FFFFFFFF))
+	f.Add(int64(11), uint32(77), uint64(0x0102030405060708))
+	f.Fuzz(func(t *testing.T, seed int64, pos uint32, patch uint64) {
+		p := progen.Generate(seed, progen.DefaultOptions())
+		if len(p.Code) < 8 {
+			t.Skip("degenerate program")
+		}
+		code := make([]byte, len(p.Code))
+		copy(code, p.Code)
+		off := int(pos) % (len(code) - 7)
+		binary.LittleEndian.PutUint64(code[off:], patch)
+		p.Code = code
+		res, err := oracle.RunProgram(p, cpu.DefaultConfig(), fuzzBudget, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Clean() {
+			t.Fatalf("seed %d mutation (off %d, patch %#x) diverged after %d steps:\n%v",
+				seed, off, patch, res.Steps, res.Div)
+		}
+	})
+}

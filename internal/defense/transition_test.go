@@ -1,0 +1,160 @@
+package defense
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Behavioral tests for defense-switch transitions on a LIVE core: the
+// defender flips a mitigation while the workload is mid-run
+// (cpu.SetDefenses), and the machine's observable behavior must change
+// from that instruction on — not at the next reboot.
+
+// transitionCPU maps a small RWX-free program and returns a running core.
+func transitionCPU(t *testing.T, instrs []isa.Instruction, cfg cpu.Config) *cpu.CPU {
+	t.Helper()
+	code := make([]byte, len(instrs)*isa.InstrSize)
+	for i, in := range instrs {
+		if err := in.Encode(code[i*isa.InstrSize:]); err != nil {
+			t.Fatalf("instr %d: %v", i, err)
+		}
+	}
+	m := mem.New(1 << 20)
+	const base = 0x10000
+	if err := m.LoadRaw(base, code); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(base, uint64(len(code)), mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(0x40000, mem.PageSize, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(m, cfg)
+	c.PC = base
+	return c
+}
+
+// TestPrivilegedFlushSwitchMidRun: CLFLUSH retires fine, the defender
+// enables the §IV countermeasure, and the *same* instruction faults on
+// its next execution.
+func TestPrivilegedFlushSwitchMidRun(t *testing.T) {
+	c := transitionCPU(t, []isa.Instruction{
+		{Op: isa.MOVI, Rd: 1, Imm: 0x40000},
+		{Op: isa.CLFLUSH, Rs1: 1},
+		{Op: isa.CLFLUSH, Rs1: 1, Imm: 64},
+		{Op: isa.HALT},
+	}, cpu.DefaultConfig())
+	for i := 0; i < 2; i++ { // MOVI + first CLFLUSH retire under the lax posture
+		if err := c.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	c.SetDefenses(true, false, false, true) // flip PrivilegedFlush mid-run
+	err := c.Step()
+	if err == nil {
+		t.Fatal("CLFLUSH retired after PrivilegedFlush was switched on")
+	}
+	var f *cpu.Fault
+	if !errors.As(err, &f) || !strings.Contains(err.Error(), "privileged") {
+		t.Fatalf("want privileged-instruction fault, got %v", err)
+	}
+	// Switching the defense back off mid-run unblocks the same PC.
+	c.SetDefenses(true, false, false, false)
+	if err := c.Step(); err != nil {
+		t.Fatalf("CLFLUSH after switching the defense off again: %v", err)
+	}
+}
+
+// TestSpeculationSwitchMidRun: with speculation on, a loop of
+// hard-to-predict bounds checks racks up squashes; after the defender
+// switches speculation off mid-run, the squash counter freezes while the
+// program continues to the same architectural result.
+func TestSpeculationSwitchMidRun(t *testing.T) {
+	// Each trip stores an alternating value, flushes the line, and
+	// compares the (now slow, late-resolving) loaded value: the branch
+	// must be predicted, and the alternation makes it mispredict — a
+	// wrong-path episode per trip or so.
+	loop := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 1, Imm: 300},     // 0: trip counter
+		{Op: isa.MOVI, Rd: 2, Imm: 0},       // 1: alternator
+		{Op: isa.MOVI, Rd: 3, Imm: 0x40000}, // 2: data address
+		{Op: isa.XORI, Rd: 2, Rs1: 2, Imm: 1},        // 3: top
+		{Op: isa.STORE, Rs1: 3, Rs2: 2},              // 4
+		{Op: isa.CLFLUSH, Rs1: 3},                    // 5: force the reload to miss
+		{Op: isa.LOAD, Rd: 4, Rs1: 3},                // 6: late-resolving compare operand
+		{Op: isa.CMPI, Rs1: 4, Imm: 1},               // 7
+		{Op: isa.JE, Imm: 0x10000 + 10*isa.InstrSize}, // 8: skip the NOP half the trips
+		{Op: isa.NOP},                                 // 9
+		{Op: isa.SUBI, Rd: 1, Rs1: 1, Imm: 1},         // 10
+		{Op: isa.CMPI, Rs1: 1, Imm: 0},                // 11
+		{Op: isa.JNE, Imm: 0x10000 + 3*isa.InstrSize}, // 12
+		{Op: isa.HALT},                                // 13
+	}
+	c := transitionCPU(t, loop, cpu.DefaultConfig())
+	for i := 0; i < 1500 && !c.Halted(); i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Snapshot().Squashes
+	if before == 0 {
+		t.Fatal("no speculation episodes before the switch; test premise broken")
+	}
+	c.SetDefenses(false, false, false, false) // speculation off mid-run
+	for !c.Halted() {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := c.Snapshot().Squashes; after != before {
+		t.Fatalf("squashes advanced from %d to %d after speculation was disabled", before, after)
+	}
+	if got := c.Regs[1]; got != 0 {
+		t.Fatalf("loop counter = %d, want 0 (architectural result must survive the switch)", got)
+	}
+}
+
+// TestPostureTransitionAcrossRuns walks the defense escalation the paper
+// narrates — the same attacker, progressively hardened platform — and
+// requires the failure stage to move monotonically earlier.
+func TestPostureTransitionAcrossRuns(t *testing.T) {
+	atk := Attacker{LeakCanary: true, LeakLayout: true, Perturb: true}
+	base := Posture{DEP: true, Canary: true, ASLR: true}
+
+	open, err := Evaluate(base, atk, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !open.Success {
+		t.Fatalf("fully-leaked attacker should beat the memory-safety stack: %+v", open)
+	}
+
+	hardened := base
+	hardened.PrivilegedFlush = true
+	closed, err := Evaluate(hardened, atk, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Success {
+		t.Fatalf("privileged flush should break the chain: %+v", closed)
+	}
+	if !closed.Injected {
+		t.Fatalf("injection is upstream of the flush defense and should still land: %+v", closed)
+	}
+
+	spec := base
+	spec.NoSpeculation = true
+	quiet, err := Evaluate(spec, atk, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Success {
+		t.Fatalf("no-speculation posture leaked anyway: %+v", quiet)
+	}
+}

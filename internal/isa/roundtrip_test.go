@@ -1,0 +1,119 @@
+package isa
+
+import "testing"
+
+// TestRoundTripEveryOpcode is the fused contract table: for every opcode
+// and a battery of boundary field values, the canonical encoding must
+// (a) survive Encode -> Decode unchanged, (b) decode identically through
+// DecodeFast — the predecoder's revalidation path — and (c) be rejected
+// by Decode the moment any unused field or reserved byte is disturbed.
+// The differential harness leans on all three: progen emits canonical
+// encodings, the core's predecode cache re-decodes them with DecodeFast,
+// and mutation fuzzing relies on strict rejection agreeing across both
+// simulators.
+func TestRoundTripEveryOpcode(t *testing.T) {
+	regs := []uint8{0, 1, uint8(NumRegs - 1)}
+	imms := []int64{0, 1, -1, 127, -128, 1 << 31, -(1 << 31), 1<<63 - 1, -(1 << 63)}
+
+	for op := Op(0); int(op) < NumOps; op++ {
+		u := usage(op.Form())
+		variants := []Instruction{}
+		for _, r := range regs {
+			in := Instruction{Op: op}
+			if u.rd {
+				in.Rd = r
+			}
+			if u.rs1 {
+				in.Rs1 = r
+			}
+			if u.rs2 {
+				in.Rs2 = r
+			}
+			variants = append(variants, in)
+		}
+		if u.imm {
+			for _, imm := range imms {
+				in := variants[1%len(variants)]
+				in.Imm = imm
+				variants = append(variants, in)
+			}
+		}
+
+		var buf [InstrSize]byte
+		for _, in := range variants {
+			if err := in.Encode(buf[:]); err != nil {
+				t.Fatalf("%s: encode %+v: %v", op, in, err)
+			}
+			dec, err := Decode(buf[:])
+			if err != nil {
+				t.Fatalf("%s: decode canonical %+v: %v", op, in, err)
+			}
+			if dec != in {
+				t.Fatalf("%s: round trip %+v -> %+v", op, in, dec)
+			}
+			if fast := DecodeFast(buf[:]); fast != dec {
+				t.Fatalf("%s: DecodeFast %+v != Decode %+v", op, fast, dec)
+			}
+		}
+
+		// Non-canonical rejection, field by field.
+		base := variants[0]
+		if err := base.Encode(buf[:]); err != nil {
+			t.Fatalf("%s: encode base: %v", op, err)
+		}
+		for byteIdx := 1; byteIdx < InstrSize; byteIdx++ {
+			used := false
+			switch {
+			case byteIdx == 1:
+				used = u.rd
+			case byteIdx == 2:
+				used = u.rs1
+			case byteIdx == 3:
+				used = u.rs2
+			case byteIdx >= 4 && byteIdx < 12:
+				used = u.imm
+			}
+			if used {
+				continue
+			}
+			mut := buf
+			mut[byteIdx] ^= 0x01
+			if _, err := Decode(mut[:]); err == nil {
+				t.Errorf("%s: Decode accepted nonzero unused byte %d", op, byteIdx)
+			}
+		}
+
+		// Register fields, when used, must be range-checked.
+		for byteIdx, used := range map[int]bool{1: u.rd, 2: u.rs1, 3: u.rs2} {
+			if !used {
+				continue
+			}
+			mut := buf
+			mut[byteIdx] = uint8(NumRegs)
+			if _, err := Decode(mut[:]); err == nil {
+				t.Errorf("%s: Decode accepted register %d in byte %d", op, NumRegs, byteIdx)
+			}
+		}
+	}
+}
+
+// TestEncodeRejectsMisuse: Encode must refuse out-of-form instructions
+// symmetrically with Decode's strictness.
+func TestEncodeRejectsMisuse(t *testing.T) {
+	var buf [InstrSize]byte
+	cases := []Instruction{
+		{Op: Op(NumOps)},               // invalid opcode
+		{Op: RET, Rd: 1},               // unused rd
+		{Op: NOP, Imm: 9},              // unused imm
+		{Op: MOV, Rd: uint8(NumRegs)},  // register out of range
+		{Op: ADD, Rs2: uint8(NumRegs)}, // rs2 out of range
+	}
+	for _, in := range cases {
+		if err := in.Encode(buf[:]); err == nil {
+			t.Errorf("Encode accepted %+v", in)
+		}
+	}
+	if err := (Instruction{Op: NOP}).Encode(buf[:4]); err == nil {
+		t.Error("Encode accepted a short buffer")
+	}
+}

@@ -1,0 +1,204 @@
+package mem
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// Boundary tests for the access-check and wide-access fast paths: the
+// single-page check shortcut, raw64/Write64, and the wraparound guards at
+// the very end of the address space. The differential harness generates
+// page-straddling traffic, but only inside its mapped layout; these pin
+// the edges down directly.
+
+func rwMem(t *testing.T, pages uint64) *Memory {
+	t.Helper()
+	m := New(pages * PageSize)
+	if err := m.Protect(0, pages*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestWrite64StraddleLastPageBoundary: a word write across the final
+// interior page boundary must land byte-exact and bump BOTH page
+// generations (the predecode cache keys staleness on them).
+func TestWrite64StraddleLastPageBoundary(t *testing.T) {
+	m := rwMem(t, 2)
+	addr := uint64(PageSize - 3) // 5 bytes in page 0, 3 in page 1
+	g0, g1 := m.PageGen(0), m.PageGen(PageSize)
+	const v = 0x1122334455667788
+	if err := m.Write64(addr, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read64(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("read back %#x, want %#x", got, v)
+	}
+	raw, _ := m.PeekRaw(addr, 8)
+	var want [8]byte
+	binary.LittleEndian.PutUint64(want[:], v)
+	if [8]byte(raw) != want {
+		t.Fatalf("bytes %x, want %x", raw, want[:])
+	}
+	if m.PageGen(0) == g0 {
+		t.Error("first page generation not bumped by straddling write")
+	}
+	if m.PageGen(PageSize) == g1 {
+		t.Error("second page generation not bumped by straddling write")
+	}
+}
+
+// TestWordAtLastByteOfAddressSpace: accesses touching the final bytes of
+// memory must either fit exactly or fault — never wrap or walk past the
+// permission table.
+func TestWordAtLastByteOfAddressSpace(t *testing.T) {
+	m := rwMem(t, 2)
+	size := m.Size()
+
+	if err := m.Write64(size-8, 0xDEAD); err != nil {
+		t.Fatalf("word at final slot: %v", err)
+	}
+	if v, err := m.Read64(size - 8); err != nil || v != 0xDEAD {
+		t.Fatalf("read final slot: %v %#x", err, v)
+	}
+
+	for _, addr := range []uint64{size - 7, size - 1, size} {
+		if err := m.Write64(addr, 1); err == nil {
+			t.Errorf("Write64(%#x) beyond end succeeded", addr)
+		}
+		if _, err := m.Read64(addr); err == nil {
+			t.Errorf("Read64(%#x) beyond end succeeded", addr)
+		}
+	}
+	if err := m.Write8(size-1, 0xAB); err != nil {
+		t.Fatalf("last byte write: %v", err)
+	}
+	if b, err := m.Read8(size - 1); err != nil || b != 0xAB {
+		t.Fatalf("last byte read: %v %#x", err, b)
+	}
+}
+
+// TestAddressWraparound: addr+n overflowing uint64 must fault as
+// unmapped on every access family, including the raw/privileged channels.
+func TestAddressWraparound(t *testing.T) {
+	m := rwMem(t, 2)
+	top := ^uint64(0)
+	var f *Fault
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"Read64", func() error { _, err := m.Read64(top - 3); return err }()},
+		{"Write64", m.Write64(top-3, 1)},
+		{"Read8", func() error { _, err := m.Read8(top); return err }()},
+		{"ReadBytes", func() error { _, err := m.ReadBytes(top-1, 8); return err }()},
+		{"WriteBytes", m.WriteBytes(top-1, make([]byte, 8))},
+		{"Fetch", func() error { _, err := m.Fetch(top-7, 16); return err }()},
+		{"FetchNoCopy", func() error { _, _, err := m.FetchNoCopy(top-7, 16); return err }()},
+		{"LoadRaw", m.LoadRaw(top-1, make([]byte, 8))},
+		{"PeekRaw", func() error { _, err := m.PeekRaw(top-1, 8); return err }()},
+		{"Peek64", func() error { _, err := m.Peek64(top - 3); return err }()},
+		{"Protect", m.Protect(top-1, 8, PermRW)},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: wrapping access succeeded", tc.name)
+			continue
+		}
+		if !errors.As(tc.err, &f) || f.Kind != FaultUnmapped {
+			t.Errorf("%s: want unmapped fault, got %v", tc.name, tc.err)
+		}
+	}
+}
+
+// TestZeroLengthAccess: n=0 accesses previously underflowed (end-1) in
+// the permission check and walked the perm table off its end on fully
+// mapped memories; they must be harmless no-ops in bounds and faults
+// past the end.
+func TestZeroLengthAccess(t *testing.T) {
+	m := rwMem(t, 2)
+	for _, addr := range []uint64{0, 1, PageSize, m.Size() - 1} {
+		if b, err := m.ReadBytes(addr, 0); err != nil || len(b) != 0 {
+			t.Errorf("ReadBytes(%#x, 0) = %v, %v", addr, b, err)
+		}
+	}
+	if err := m.WriteBytes(0, nil); err != nil {
+		t.Errorf("empty WriteBytes: %v", err)
+	}
+	if _, err := m.ReadBytes(m.Size()+PageSize, 0); err == nil {
+		t.Error("zero-length read far past the end succeeded")
+	}
+	// A zero-length fetch touches no pages, so even a non-executable
+	// mapping must not fault — same rule as the other n=0 accesses.
+	if _, err := m.Fetch(0, 0); err != nil {
+		t.Errorf("zero-length fetch on mapped memory faulted: %v", err)
+	}
+}
+
+// TestStraddlePermissionBoundary: a wide access spanning pages with
+// different permissions takes the slow multi-page walk; the write must
+// be rejected by the read-only page and leave the writable page intact.
+func TestStraddlePermissionBoundary(t *testing.T) {
+	m := New(2 * PageSize)
+	if err := m.Protect(0, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(PageSize, PageSize, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(PageSize - 4)
+	if err := m.Write64(addr, 0xFFFF_FFFF_FFFF_FFFF); err == nil {
+		t.Fatal("write straddling into a read-only page succeeded")
+	} else {
+		var f *Fault
+		if !errors.As(err, &f) || f.Kind != FaultWrite {
+			t.Fatalf("want write fault, got %v", err)
+		}
+	}
+	raw, _ := m.PeekRaw(addr, 8)
+	for i, b := range raw {
+		if b != 0 {
+			t.Fatalf("rejected straddle write modified byte %d (=%#x)", i, b)
+		}
+	}
+	if _, err := m.Read64(addr); err != nil {
+		t.Fatalf("read straddling RW|R pages: %v", err)
+	}
+
+	// Straddling into an unmapped page reports unmapped, not a perm kind.
+	m2 := New(2 * PageSize)
+	if err := m2.Protect(0, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	var f *Fault
+	if err := m2.Write64(PageSize-4, 1); !errors.As(err, &f) || f.Kind != FaultUnmapped {
+		t.Fatalf("want unmapped fault, got %v", err)
+	}
+}
+
+// TestFetchNoCopyRejectsStraddle: the zero-copy predecode fetch must
+// refuse page-crossing ranges rather than return a half-checked view.
+func TestFetchNoCopyRejectsStraddle(t *testing.T) {
+	m := New(2 * PageSize)
+	if err := m.Protect(0, 2*PageSize, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.FetchNoCopy(PageSize-8, 16); err == nil {
+		t.Fatal("page-straddling FetchNoCopy succeeded")
+	}
+	raw, gen, err := m.FetchNoCopy(PageSize-16, 16)
+	if err != nil {
+		t.Fatalf("in-page FetchNoCopy: %v", err)
+	}
+	if len(raw) != 16 {
+		t.Fatalf("got %d bytes", len(raw))
+	}
+	if gen != m.PageGen(PageSize-16) {
+		t.Fatalf("gen %d != PageGen %d", gen, m.PageGen(PageSize-16))
+	}
+}

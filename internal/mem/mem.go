@@ -166,6 +166,15 @@ func (m *Memory) check(addr, n uint64, need Perm, kind FaultKind) error {
 	if end < addr || end > m.Size() {
 		return &Fault{Kind: FaultUnmapped, Addr: addr}
 	}
+	if n == 0 {
+		// Zero-length accesses touch no pages; without this guard the
+		// (end-1) below underflows for addr 0 and the permission walk
+		// runs off the end of perms.
+		if addr >= m.Size() {
+			return &Fault{Kind: FaultUnmapped, Addr: addr}
+		}
+		return nil
+	}
 	pg, last := addr/PageSize, (end-1)/PageSize
 	if pg == last {
 		// Fast path: accesses of <=8 bytes almost never straddle a page.

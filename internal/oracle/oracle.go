@@ -1,0 +1,420 @@
+// Package oracle is the simulator's independent correctness reference: a
+// deliberately slow, obviously-correct interpreter for the full
+// internal/isa ISA, plus a differential executor (diff.go) that lock-steps
+// it against the optimized speculative core and a minimizing reporter
+// (minimize.go) that shrinks any divergence to the shortest failing
+// instruction prefix.
+//
+// The interpreter models *architectural* semantics only: every fetch goes
+// through the permission-checked mem.Fetch, every decode through the fully
+// validating isa.Decode, and there is no predecode cache, no cache
+// hierarchy, no branch prediction and no speculation. That makes it immune
+// by construction to the entire class of bugs the optimized core can have
+// — stale predecode entries, fast-path byte arithmetic, wrong-path state
+// leaking past a squash — which is exactly what qualifies it as an oracle
+// (see DESIGN.md §8 for the contract: what must match, what is exempt).
+package oracle
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// ErrHalted is returned by Step when the machine has already halted.
+var ErrHalted = errors.New("oracle: halted")
+
+// ErrBudget is returned by Run when the instruction budget is exhausted
+// before the program halts.
+var ErrBudget = errors.New("oracle: instruction budget exhausted")
+
+// Fault wraps an execution fault with the PC at which it occurred,
+// mirroring cpu.Fault so the differential executor can compare the two.
+type Fault struct {
+	PC  uint64
+	Err error
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("oracle: fault at pc=%#x: %v", f.PC, f.Err) }
+
+// Unwrap exposes the underlying cause (e.g. *mem.Fault).
+func (f *Fault) Unwrap() error { return f.Err }
+
+// SyscallFn handles a SYSCALL instruction on the reference machine.
+type SyscallFn func(o *Machine) error
+
+// Machine is the reference interpreter's complete state: the architectural
+// register file, PC, comparison flags and a halted bit — nothing else.
+// There is no cycle counter; time is an *input* (TimeFn) so that RDTSC,
+// the one instruction whose architectural result depends on
+// micro-architectural timing, can be driven from outside (the differential
+// executor feeds it the optimized core's cycle at each instruction).
+type Machine struct {
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+	Mem  *mem.Memory
+
+	FlagZ  bool // last CMP: equal
+	FlagLT bool // last CMP: less-than, signed
+	FlagB  bool // last CMP: below, unsigned
+
+	// Halted is set by HALT (and by SysExit-style handlers).
+	Halted bool
+
+	// PrivilegedFlush mirrors cpu.Config.PrivilegedFlush: CLFLUSH and
+	// MFENCE fault in user code when set.
+	PrivilegedFlush bool
+
+	// TimeFn supplies the value RDTSC writes. Nil means RDTSC reads the
+	// retired-instruction count — a deterministic stand-in for standalone
+	// oracle runs.
+	TimeFn func() uint64
+
+	// OnSyscall handles SYSCALL; nil means SYSCALL faults (exactly as the
+	// optimized core does when no handler is installed).
+	OnSyscall SyscallFn
+
+	// Instret counts retired instructions.
+	Instret uint64
+}
+
+// New builds a reference machine over the given memory. The memory must be
+// private to the machine: the differential executor gives the oracle and
+// the optimized core separate, identically initialized memories so their
+// stores can be compared.
+func New(m *mem.Memory) *Machine {
+	return &Machine{Mem: m}
+}
+
+// Run executes until HALT or until maxInstr instructions retire, returning
+// ErrBudget in the latter case.
+func (o *Machine) Run(maxInstr uint64) error {
+	for i := uint64(0); i < maxInstr; i++ {
+		if o.Halted {
+			return nil
+		}
+		if err := o.Step(); err != nil {
+			return err
+		}
+	}
+	if o.Halted {
+		return nil
+	}
+	return ErrBudget
+}
+
+// Step retires exactly one instruction. Every step pays the full
+// permission-checked fetch and the fully validating decode; there is no
+// memoization of any kind. A fault leaves all state untouched (except
+// SYSCALL, whose PC advances before the handler runs — matching the
+// optimized core).
+func (o *Machine) Step() error {
+	if o.Halted {
+		return ErrHalted
+	}
+	raw, err := o.Mem.Fetch(o.PC, isa.InstrSize)
+	if err != nil {
+		return &Fault{PC: o.PC, Err: err}
+	}
+	in, err := isa.Decode(raw)
+	if err != nil {
+		return &Fault{PC: o.PC, Err: err}
+	}
+	if err := o.execute(in); err != nil {
+		return &Fault{PC: o.PC, Err: err}
+	}
+	o.Instret++
+	return nil
+}
+
+var (
+	errDivZero    = errors.New("division by zero")
+	errPrivileged = errors.New("privileged instruction in user mode")
+	errNoSyscall  = errors.New("SYSCALL with no handler")
+)
+
+// execute applies one decoded instruction to the architectural state. The
+// semantics — including field-aliasing quirks like POP into SP and
+// PUSH/CALLR of SP — are written out case by case in the most direct form
+// possible; clarity over speed is the whole point of this package.
+func (o *Machine) execute(in isa.Instruction) error {
+	next := o.PC + isa.InstrSize
+	switch in.Op {
+	case isa.NOP:
+		o.PC = next
+
+	case isa.HALT:
+		// PC deliberately does not advance: the halt PC is architectural
+		// and the optimized core leaves it at the HALT instruction too.
+		o.Halted = true
+
+	case isa.MOVI:
+		o.Regs[in.Rd] = uint64(in.Imm)
+		o.PC = next
+
+	case isa.MOV:
+		o.Regs[in.Rd] = o.Regs[in.Rs1]
+		o.PC = next
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR:
+		v, err := refALU(in.Op, o.Regs[in.Rs1], o.Regs[in.Rs2])
+		if err != nil {
+			return err
+		}
+		o.Regs[in.Rd] = v
+		o.PC = next
+
+	case isa.ADDI, isa.SUBI, isa.MULI, isa.DIVI, isa.MODI,
+		isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+		v, err := refALU(immBase(in.Op), o.Regs[in.Rs1], uint64(in.Imm))
+		if err != nil {
+			return err
+		}
+		o.Regs[in.Rd] = v
+		o.PC = next
+
+	case isa.LOAD:
+		v, err := o.Mem.Read64(o.Regs[in.Rs1] + uint64(in.Imm))
+		if err != nil {
+			return err
+		}
+		o.Regs[in.Rd] = v
+		o.PC = next
+
+	case isa.LOADB:
+		b, err := o.Mem.Read8(o.Regs[in.Rs1] + uint64(in.Imm))
+		if err != nil {
+			return err
+		}
+		o.Regs[in.Rd] = uint64(b)
+		o.PC = next
+
+	case isa.STORE:
+		if err := o.Mem.Write64(o.Regs[in.Rs1]+uint64(in.Imm), o.Regs[in.Rs2]); err != nil {
+			return err
+		}
+		o.PC = next
+
+	case isa.STOREB:
+		if err := o.Mem.Write8(o.Regs[in.Rs1]+uint64(in.Imm), byte(o.Regs[in.Rs2])); err != nil {
+			return err
+		}
+		o.PC = next
+
+	case isa.PUSH:
+		// The pushed value is read before SP is updated, so PUSH sp
+		// pushes the pre-decrement stack pointer.
+		sp := o.Regs[isa.RegSP] - 8
+		if err := o.Mem.Write64(sp, o.Regs[in.Rs1]); err != nil {
+			return err
+		}
+		o.Regs[isa.RegSP] = sp
+		o.PC = next
+
+	case isa.POP:
+		// SP is written after rd, so POP sp leaves SP = old SP + 8 (the
+		// popped value is discarded) — matching the optimized core's
+		// writeback order.
+		sp := o.Regs[isa.RegSP]
+		v, err := o.Mem.Read64(sp)
+		if err != nil {
+			return err
+		}
+		o.Regs[in.Rd] = v
+		o.Regs[isa.RegSP] = sp + 8
+		o.PC = next
+
+	case isa.CMP:
+		o.setFlags(o.Regs[in.Rs1], o.Regs[in.Rs2])
+		o.PC = next
+
+	case isa.CMPI:
+		o.setFlags(o.Regs[in.Rs1], uint64(in.Imm))
+		o.PC = next
+
+	case isa.JMP:
+		o.PC = uint64(in.Imm)
+
+	case isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE,
+		isa.JB, isa.JBE, isa.JA, isa.JAE:
+		if o.branchTaken(in.Op) {
+			o.PC = uint64(in.Imm)
+		} else {
+			o.PC = next
+		}
+
+	case isa.CALL:
+		sp := o.Regs[isa.RegSP] - 8
+		if err := o.Mem.Write64(sp, next); err != nil {
+			return err
+		}
+		o.Regs[isa.RegSP] = sp
+		o.PC = uint64(in.Imm)
+
+	case isa.CALLR:
+		// The target is latched before the push, so CALLR sp jumps to the
+		// pre-decrement stack pointer.
+		target := o.Regs[in.Rs1]
+		sp := o.Regs[isa.RegSP] - 8
+		if err := o.Mem.Write64(sp, next); err != nil {
+			return err
+		}
+		o.Regs[isa.RegSP] = sp
+		o.PC = target
+
+	case isa.JMPR:
+		o.PC = o.Regs[in.Rs1]
+
+	case isa.RET:
+		sp := o.Regs[isa.RegSP]
+		ret, err := o.Mem.Read64(sp)
+		if err != nil {
+			return err
+		}
+		o.Regs[isa.RegSP] = sp + 8
+		o.PC = ret
+
+	case isa.CLFLUSH:
+		// Architecturally a no-op (no permission check on the flushed
+		// address), except under the privileged-flush countermeasure.
+		if o.PrivilegedFlush {
+			return errPrivileged
+		}
+		o.PC = next
+
+	case isa.MFENCE:
+		if o.PrivilegedFlush {
+			return errPrivileged
+		}
+		o.PC = next
+
+	case isa.LFENCE:
+		// LFENCE is never privileged: it is the sanctioned speculation
+		// barrier even under the §IV countermeasure.
+		o.PC = next
+
+	case isa.RDTSC:
+		if o.TimeFn != nil {
+			o.Regs[in.Rd] = o.TimeFn()
+		} else {
+			o.Regs[in.Rd] = o.Instret
+		}
+		o.PC = next
+
+	case isa.SYSCALL:
+		// PC advances before the handler runs (and before the no-handler
+		// fault), matching the optimized core's retire order.
+		o.PC = next
+		if o.OnSyscall == nil {
+			return errNoSyscall
+		}
+		if err := o.OnSyscall(o); err != nil {
+			return err
+		}
+
+	default:
+		return fmt.Errorf("unimplemented opcode %s", in.Op)
+	}
+	return nil
+}
+
+func (o *Machine) setFlags(a, b uint64) {
+	o.FlagZ = a == b
+	o.FlagLT = int64(a) < int64(b)
+	o.FlagB = a < b
+}
+
+// branchTaken evaluates a conditional branch against the flags. Written
+// out independently of the core's condEval so the two implementations can
+// disagree (and the disagreement be caught) rather than share a bug.
+func (o *Machine) branchTaken(op isa.Op) bool {
+	switch op {
+	case isa.JE:
+		return o.FlagZ
+	case isa.JNE:
+		return !o.FlagZ
+	case isa.JL:
+		return o.FlagLT
+	case isa.JLE:
+		return o.FlagLT || o.FlagZ
+	case isa.JG:
+		return !o.FlagLT && !o.FlagZ
+	case isa.JGE:
+		return !o.FlagLT
+	case isa.JB:
+		return o.FlagB
+	case isa.JBE:
+		return o.FlagB || o.FlagZ
+	case isa.JA:
+		return !o.FlagB && !o.FlagZ
+	case isa.JAE:
+		return !o.FlagB
+	}
+	return false
+}
+
+// refALU computes one ALU operation. Independent of cpu's alu() on
+// purpose; shift counts mask to 6 bits as the ISA defines.
+func refALU(op isa.Op, a, b uint64) (uint64, error) {
+	switch op {
+	case isa.ADD:
+		return a + b, nil
+	case isa.SUB:
+		return a - b, nil
+	case isa.MUL:
+		return a * b, nil
+	case isa.DIV:
+		if b == 0 {
+			return 0, errDivZero
+		}
+		return a / b, nil
+	case isa.MOD:
+		if b == 0 {
+			return 0, errDivZero
+		}
+		return a % b, nil
+	case isa.AND:
+		return a & b, nil
+	case isa.OR:
+		return a | b, nil
+	case isa.XOR:
+		return a ^ b, nil
+	case isa.SHL:
+		return a << (b & 63), nil
+	case isa.SHR:
+		return a >> (b & 63), nil
+	case isa.SAR:
+		return uint64(int64(a) >> (b & 63)), nil
+	}
+	return 0, fmt.Errorf("not an ALU op: %s", op)
+}
+
+// immBase maps an immediate-form ALU opcode to its register form.
+func immBase(op isa.Op) isa.Op {
+	switch op {
+	case isa.ADDI:
+		return isa.ADD
+	case isa.SUBI:
+		return isa.SUB
+	case isa.MULI:
+		return isa.MUL
+	case isa.DIVI:
+		return isa.DIV
+	case isa.MODI:
+		return isa.MOD
+	case isa.ANDI:
+		return isa.AND
+	case isa.ORI:
+		return isa.OR
+	case isa.XORI:
+		return isa.XOR
+	case isa.SHLI:
+		return isa.SHL
+	case isa.SHRI:
+		return isa.SHR
+	}
+	return op
+}
