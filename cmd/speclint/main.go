@@ -1,0 +1,289 @@
+// Command speclint statically lints the project's guest-binary corpus
+// with internal/analysis: CFG recovery, speculative-taint findings, and
+// ROP-gadget summaries, with no simulation. The built-in corpus is
+// every generated Spectre attack binary (one per variant) and every
+// MiBench ROP host image.
+//
+// Two lint invariants gate the exit status:
+//
+//   - the v1 attack binary's victim routine must be statically flagged
+//     as a leak (the analyzer never regresses below the paper's core
+//     gadget);
+//   - on every host image the static ROP planner and the dynamic
+//     gadget catalog must agree word-for-word about the exec chain.
+//
+// With -progen N it additionally soak-tests static/dynamic agreement in
+// cmd/difftest style: N seeded gadget programs (internal/progen) are
+// analyzed statically and run on the simulator, and any verdict
+// disagreement fails the run.
+//
+// Usage:
+//
+//	speclint                          # lint the built-in corpus (<1s)
+//	speclint -json findings.json      # also write machine-readable findings
+//	speclint -progen 200 -seed 1      # agreement soak, difftest style
+//	speclint -metrics                 # dump the telemetry registry
+//
+// Exit status: 0 clean, 1 lint failure or disagreement, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cpu"
+	"repro/internal/gadget"
+	"repro/internal/isa"
+	"repro/internal/mibench"
+	"repro/internal/rop"
+	"repro/internal/spectre"
+	"repro/internal/telemetry"
+	"repro/internal/vm"
+)
+
+// hostGadgetLen matches the scan depth the ROP demos use on host
+// images, so the planner cross-check sees the same census.
+const hostGadgetLen = 3
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, err)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("speclint", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		seed     = fs.Int64("seed", 1, "base seed for the -progen soak")
+		progenN  = fs.Int("progen", 0, "also soak static/dynamic agreement over this many generated gadget programs")
+		workers  = fs.Int("workers", 0, "soak worker goroutines (0 = all cores)")
+		maxInstr = fs.Uint64("maxinstr", 200_000, "per-program retired-instruction budget in the soak")
+		jsonOut  = fs.String("json", "", "write the findings reports as JSON to this file")
+		metrics  = fs.Bool("metrics", false, "dump the telemetry registry after the run")
+		verbose  = fs.Bool("v", false, "per-image detail lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	reg := telemetry.NewRegistry()
+	reports, err := lintCorpus(stdout, reg, *verbose)
+	if err != nil {
+		return err
+	}
+	lintSecs := time.Since(start).Seconds()
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	disagreements := 0
+	if *progenN > 0 {
+		n, err := soakAgreement(stdout, reg, *seed, *progenN, *workers, *maxInstr, *verbose)
+		if err != nil {
+			return err
+		}
+		disagreements = n
+	}
+
+	if *metrics {
+		if err := reg.Write(stdout); err != nil {
+			return err
+		}
+	}
+	v := reg.Values()
+	fmt.Fprintf(stdout, "speclint: %d images (%.0f instrs, %.0f gadgets) in %.2fs; findings: %.0f leak, %.0f mitigated, %.0f no-transmit; agreement: %d programs, %d disagreements\n",
+		len(reports), v["speclint.instrs"], v["speclint.gadgets"], lintSecs,
+		v["speclint.findings.leak"], v["speclint.findings.mitigated"], v["speclint.findings.no_transmit"],
+		*progenN, disagreements)
+	if disagreements > 0 {
+		return fmt.Errorf("speclint: %d static/dynamic disagreements", disagreements)
+	}
+	return nil
+}
+
+// corpusImage is one guest binary with its analysis convention.
+type corpusImage struct {
+	name  string
+	img   *isa.Image
+	taint []uint8 // registers attacker-controlled at the roots
+	host  bool    // ROP host: cross-check the exec-chain planners
+}
+
+// corpus links the built-in guest binaries: one attack image per
+// Spectre variant plus every MiBench host image.
+func corpus() ([]corpusImage, error) {
+	var out []corpusImage
+	for _, v := range spectre.Variants() {
+		mod, err := spectre.Config{Variant: v, TargetAddr: 0x123456}.Module()
+		if err != nil {
+			return nil, fmt.Errorf("spectre %s: %w", v, err)
+		}
+		img, err := mod.Link(0x200000)
+		if err != nil {
+			return nil, fmt.Errorf("spectre %s: %w", v, err)
+		}
+		out = append(out, corpusImage{
+			name:  "spectre/" + v.String(),
+			img:   img,
+			taint: spectre.StaticTaintRegs(),
+		})
+	}
+	for _, w := range append(mibench.Suite(), mibench.Extended()...) {
+		mod, err := w.HostModule(rop.HostOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("host %s: %w", w.Name, err)
+		}
+		img, err := mod.Link(0x100000)
+		if err != nil {
+			return nil, fmt.Errorf("host %s: %w", w.Name, err)
+		}
+		out = append(out, corpusImage{name: "host/" + w.Name, img: img, host: true})
+	}
+	return out, nil
+}
+
+func lintCorpus(stdout io.Writer, reg *telemetry.Registry, verbose bool) ([]*analysis.Report, error) {
+	images, err := corpus()
+	if err != nil {
+		return nil, err
+	}
+	var reports []*analysis.Report
+	for _, ci := range images {
+		rep := analysis.AnalyzeImage(ci.img, analysis.Config{TaintedRegs: ci.taint, MaxGadgetLen: hostGadgetLen})
+		rep.Name = ci.name
+		reports = append(reports, rep)
+
+		reg.Inc("speclint.images")
+		reg.Add("speclint.instrs", uint64(rep.NumInstrs))
+		reg.Add("speclint.blocks", uint64(rep.NumBlocks))
+		reg.Add("speclint.indirect_sites", uint64(rep.IndirectSites))
+		reg.Add("speclint.gadgets", uint64(rep.NumGadgets))
+		for _, f := range rep.Findings {
+			switch f.Verdict {
+			case analysis.VerdictLeak:
+				reg.Inc("speclint.findings.leak")
+			case analysis.VerdictMitigated:
+				reg.Inc("speclint.findings.mitigated")
+			default:
+				reg.Inc("speclint.findings.no_transmit")
+			}
+		}
+		if verbose {
+			fmt.Fprintf(stdout, "%-28s %s\n", ci.name, rep.Summary())
+		}
+
+		if ci.host {
+			if err := checkHostPlanners(ci, rep, reg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := checkV1Flagged(images, reports); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// checkV1Flagged enforces the first lint invariant: the v1 attack
+// image's victim routine carries a static leak finding.
+func checkV1Flagged(images []corpusImage, reports []*analysis.Report) error {
+	name := "spectre/" + spectre.V1BoundsCheck.String()
+	for i, ci := range images {
+		if ci.name != name {
+			continue
+		}
+		victim, ok := ci.img.Symbols[spectre.VictimSymbol]
+		if !ok {
+			return fmt.Errorf("speclint: %s lacks the %q symbol", name, spectre.VictimSymbol)
+		}
+		for _, f := range reports[i].Leaks() {
+			if f.AccessPC >= victim && f.AccessPC < victim+16*isa.InstrSize {
+				return nil
+			}
+		}
+		return fmt.Errorf("speclint: %s: victim routine at %#x carries no static leak finding", name, victim)
+	}
+	return fmt.Errorf("speclint: corpus lacks %s", name)
+}
+
+// checkHostPlanners enforces the second lint invariant: on a host
+// image, the static ROP planner subsumes the dynamic gadget catalog —
+// wherever the catalog builds the exec chain, the planner builds the
+// identical word sequence. (The planner may succeed where the catalog
+// cannot: it classifies gadget shapes the catalog does not.)
+func checkHostPlanners(ci corpusImage, rep *analysis.Report, reg *telemetry.Registry) error {
+	dynChain, dynErr := rop.BuildExecChain(gadget.ScanAndCatalog(ci.img, hostGadgetLen), rop.NameAddr())
+
+	vals := []uint64{rop.NameAddr(), vm.SysExec}
+	var pairs []analysis.RegValue
+	for i, r := range rop.ExecChainRegs() {
+		pairs = append(pairs, analysis.RegValue{Reg: r, Value: vals[i]})
+	}
+	statPlan, statErr := analysis.PlanSyscall(rep.Gadgets, pairs...)
+
+	if dynErr != nil {
+		if statErr == nil {
+			reg.Inc("speclint.hosts.exec_static_only")
+		} else {
+			reg.Inc("speclint.hosts.exec_unplannable")
+		}
+		return nil
+	}
+	if statErr != nil {
+		return fmt.Errorf("speclint: %s: dynamic catalog plans the exec chain but the static planner failed: %v", ci.name, statErr)
+	}
+	dw, sw := dynChain.Words(), statPlan.Words()
+	if len(dw) != len(sw) {
+		return fmt.Errorf("speclint: %s: exec chains differ: dynamic %d words, static %d", ci.name, len(dw), len(sw))
+	}
+	for i := range dw {
+		if dw[i] != sw[i] {
+			return fmt.Errorf("speclint: %s: exec chain word %d: dynamic %#x, static %#x", ci.name, i, dw[i], sw[i])
+		}
+	}
+	reg.Inc("speclint.hosts.exec_plannable")
+	return nil
+}
+
+// soakAgreement is the difftest-style static/dynamic cross-check: n
+// seeded gadget programs, each analyzed and executed, verdicts
+// compared. Returns the number of disagreements.
+func soakAgreement(stdout io.Writer, reg *telemetry.Registry, seed int64, n, workers int, maxInstr uint64, verbose bool) (int, error) {
+	results, err := analysis.SoakAgreement(seed, n, workers, cpu.DefaultConfig(), maxInstr)
+	if err != nil {
+		return 0, err
+	}
+	disagreements := 0
+	for _, a := range results {
+		reg.Inc("speclint.soak.programs")
+		if !a.Agrees() {
+			disagreements++
+			reg.Inc("speclint.soak.disagreements")
+			fmt.Fprintf(stdout, "DISAGREEMENT %v\n", a)
+		} else if verbose {
+			fmt.Fprintf(stdout, "ok %v\n", a)
+		}
+	}
+	return disagreements, nil
+}

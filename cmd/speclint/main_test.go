@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// TestLintCorpusClean: the built-in corpus lints clean, quickly, and
+// without ever touching the simulator — the sub-second budget is the
+// point of static analysis, so it is enforced here.
+func TestLintCorpusClean(t *testing.T) {
+	var out strings.Builder
+	start := time.Now()
+	if err := run([]string{"-v"}, &out); err != nil {
+		t.Fatalf("lint failed: %v\n%s", err, out.String())
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("corpus lint took %v, want < 1s", elapsed)
+	}
+	for _, want := range []string{"spectre/v1-bounds-check", "host/", "speclint:", "0 disagreements"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestJSONFindings: the -json artifact is machine-readable and carries
+// the v1 leak finding CI greps for.
+func TestJSONFindings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.json")
+	var out strings.Builder
+	if err := run([]string{"-json", path}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*analysis.Report
+	if err := json.Unmarshal(blob, &reports); err != nil {
+		t.Fatalf("findings not valid JSON: %v", err)
+	}
+	if len(reports) < 5 {
+		t.Fatalf("only %d reports", len(reports))
+	}
+	foundV1Leak := false
+	for _, r := range reports {
+		if r.Name == "spectre/v1-bounds-check" && len(r.Leaks()) > 0 {
+			foundV1Leak = true
+		}
+	}
+	if !foundV1Leak {
+		t.Error("JSON reports carry no v1 leak finding")
+	}
+}
+
+// TestSoakAgreementSmoke: a short -progen soak must come back with zero
+// disagreements.
+func TestSoakAgreementSmoke(t *testing.T) {
+	n := "24"
+	if testing.Short() {
+		n = "6"
+	}
+	var out strings.Builder
+	if err := run([]string{"-progen", n, "-seed", "3"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), n+" programs, 0 disagreements") {
+		t.Errorf("unexpected soak summary:\n%s", out.String())
+	}
+}
+
+// TestMetricsOutput: -metrics dumps the registry with the corpus
+// counters populated.
+func TestMetricsOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-metrics"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{"speclint.images", "speclint.gadgets", "speclint.findings.leak"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("metrics dump lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

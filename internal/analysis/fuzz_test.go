@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/progen"
+)
+
+// FuzzCFGRecovery throws arbitrary bytes at the CFG recoverer. Whatever
+// the input, recovery must not panic, and the structural invariants
+// must hold: every block instruction round-trips through isa.Encode to
+// the exact image bytes (the linear sweep only admits canonical slots),
+// blocks are disjoint and ordered, successors land on block starts, and
+// the taint pass runs to completion on the recovered graph.
+func FuzzCFGRecovery(f *testing.F) {
+	p, _ := progen.GenerateGadget(1, progen.GadgetLeak)
+	f.Add(p.Code)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	seed := make([]byte, 4*isa.InstrSize)
+	seed[0*isa.InstrSize] = byte(isa.CMP)
+	seed[1*isa.InstrSize] = byte(isa.JE)
+	seed[2*isa.InstrSize] = byte(isa.RET)
+	seed[3*isa.InstrSize] = byte(isa.HALT)
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, code []byte) {
+		const fuzzBase = uint64(0x10000)
+		g := RecoverCFG(code, fuzzBase, fuzzBase)
+
+		var prevEnd uint64
+		for i, start := range g.Order {
+			b := g.Blocks[start]
+			if b == nil || b.Start != start {
+				t.Fatalf("order entry %d (%#x) does not match its block", i, start)
+			}
+			if i > 0 && start < prevEnd {
+				t.Fatalf("block %#x overlaps the previous block ending at %#x", start, prevEnd)
+			}
+			prevEnd = b.End()
+			if len(b.Instrs) == 0 {
+				t.Fatalf("empty block at %#x", start)
+			}
+			for j, in := range b.Instrs {
+				var buf [isa.InstrSize]byte
+				if err := in.Encode(buf[:]); err != nil {
+					t.Fatalf("block %#x instr %d does not re-encode: %v", start, j, err)
+				}
+				off := int(start-fuzzBase) + j*isa.InstrSize
+				for k := range buf {
+					if buf[k] != code[off+k] {
+						t.Fatalf("block %#x instr %d round-trip mismatch at byte %d", start, j, k)
+					}
+				}
+			}
+			for _, s := range b.Succs {
+				if sb := g.Blocks[s]; sb == nil || sb.Start != s {
+					t.Fatalf("block %#x successor %#x is not a block start", start, s)
+				}
+			}
+		}
+
+		// The whole pipeline must also hold up: taint analysis and gadget
+		// summarization over the same bytes, panic-free.
+		rep := Analyze(code, fuzzBase, Config{TaintedRegs: []uint8{1}}, fuzzBase)
+		for _, fd := range rep.Findings {
+			if _, ok := g.InstrAt(fd.AccessPC); !ok {
+				t.Fatalf("finding at %#x points outside the decoded image", fd.AccessPC)
+			}
+		}
+		for _, s := range SummarizeGadgets(code, fuzzBase, 4) {
+			if s.Len < 1 || s.Len > 4 {
+				t.Fatalf("summary at %#x has length %d", s.Addr, s.Len)
+			}
+			in, ok := g.InstrAt(s.Addr + uint64(s.Len-1)*isa.InstrSize)
+			if !ok || in.Op != isa.RET {
+				t.Fatalf("summary at %#x does not end in RET", s.Addr)
+			}
+		}
+	})
+}

@@ -1,0 +1,480 @@
+// Package analysis is the static counterpart of the dynamic pipeline:
+// it recovers control flow from guest binary images (cfg.go), runs a
+// worklist abstract interpretation that tracks an attacker-taint lattice
+// and speculation windows to flag Spectre-v1 gadgets (this file),
+// summarizes ROP gadgets symbolically (ropchain.go), and cross-checks
+// its verdicts against the simulator (dynamic.go, the agreement tests).
+//
+// The taint lattice has two independent bits per register:
+//
+//	A — attacker-derived: the value is a function of an attacker-
+//	    controlled input register (the Spectre "index").
+//	S — transient secret: the value was loaded, inside a speculation
+//	    window, through an A-tainted address — the out-of-bounds byte.
+//
+// MOVI and RDTSC write untainted constants (kill); MOV and the ALU
+// families propagate the union of their sources; loads produce S inside
+// a window when their address register is tainted. Memory is not
+// modelled: stores drop taint, POP loads untainted data. That keeps the
+// domain finite and the pass fast, at the cost of missing taint routed
+// through memory — acceptable because the generated corpus and the
+// spectre victims keep the index in registers, and spills would only
+// produce false negatives, never disagreements on the labeled corpus.
+//
+// Speculation windows model cpu.speculate: a conditional branch whose
+// CMP consumed a possibly in-flight (recently loaded) operand may
+// mispredict and transiently execute up to SpecWindow instructions on
+// either side. The abstraction opens a window on both successors of
+// such a branch, decrements it per instruction, and closes it at the
+// speculation barriers (LFENCE/MFENCE/SYSCALL/HALT), clearing S taint —
+// transient values do not survive the squash. The static pass assumes
+// the worst-case predictor (the branch may be mistrained), which the
+// agreement corpus makes true dynamically by construction.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Taint bits. A value may carry both: a secret byte loaded through an
+// attacker-controlled address is S (and stays attacker-addressed).
+const (
+	taintA uint8 = 1 << iota // attacker-derived
+	taintS                   // transiently loaded secret
+)
+
+// Config tunes the static analysis.
+type Config struct {
+	// TaintedRegs are the registers holding attacker-controlled input
+	// at every root (the victim's argument registers).
+	TaintedRegs []uint8
+	// SpecWindow is the modelled speculation window in instructions
+	// (default: 64, matching cpu.DefaultConfig).
+	SpecWindow int
+	// MaxGadgetLen bounds ROP gadget summaries (default 4).
+	MaxGadgetLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpecWindow <= 0 {
+		c.SpecWindow = 64
+	}
+	if c.MaxGadgetLen <= 0 {
+		c.MaxGadgetLen = 4
+	}
+	return c
+}
+
+// Verdict classifies a flagged bounds-check access site.
+type Verdict string
+
+const (
+	// VerdictLeak: a transmitting load depends on the transient secret
+	// with no intervening fence — the site leaks through the cache.
+	VerdictLeak Verdict = "leak"
+	// VerdictMitigated: the secret is loaded transiently but every path
+	// to a dependent transmit is cut by a fence or exceeds the window.
+	VerdictMitigated Verdict = "mitigated"
+	// VerdictNoTransmit: the transient secret is never used as an
+	// address, so nothing reaches the cache side channel.
+	VerdictNoTransmit Verdict = "no-transmit"
+)
+
+// Finding is one flagged Spectre-v1 gadget: the guarding conditional
+// branch, the speculative attacker-addressed load, and (for leaks) the
+// dependent transmitting load plus a witness path through the CFG.
+type Finding struct {
+	GuardPC    uint64   `json:"guard_pc"`
+	AccessPC   uint64   `json:"access_pc"`
+	TransmitPC uint64   `json:"transmit_pc,omitempty"`
+	Verdict    Verdict  `json:"verdict"`
+	Witness    []uint64 `json:"witness,omitempty"`
+}
+
+// regState is the abstract state at one program point. All fields are
+// comparable, so fixpoint detection is plain ==.
+type regState struct {
+	taint [isa.NumRegs]uint8
+	// site records, per S-tainted register, the access-site PC whose
+	// transient load produced the secret (provenance for findings).
+	site [isa.NumRegs]uint64
+	// inflight marks registers whose value may still be in flight from
+	// a load — a CMP consuming one leaves the flags unresolved, which
+	// is what arms wrong-path speculation.
+	inflight uint16
+	// win is the remaining speculation-window budget (0: not inside a
+	// window); guard is the branch that opened it.
+	win   int
+	guard uint64
+	// flagsInflight: the last CMP consumed a possibly in-flight value.
+	flagsInflight bool
+	live          bool
+}
+
+func (s *regState) setInflight(r uint8, v bool) {
+	if v {
+		s.inflight |= 1 << r
+	} else {
+		s.inflight &^= 1 << r
+	}
+}
+
+func (s *regState) isInflight(r uint8) bool { return s.inflight&(1<<r) != 0 }
+
+// clearS drops every transient-secret bit: called when a window closes,
+// because squashed values never reach architectural state.
+func (s *regState) clearS() {
+	for r := range s.taint {
+		s.taint[r] &^= taintS
+		if s.taint[r]&taintS == 0 {
+			s.site[r] = 0
+		}
+	}
+}
+
+// join merges o into s, returning whether s changed. Taint and inflight
+// union; win takes the max (keeping that side's guard); provenance
+// keeps the lowest non-zero site PC for determinism.
+func (s *regState) join(o regState) bool {
+	if !o.live {
+		return false
+	}
+	if !s.live {
+		*s = o
+		return true
+	}
+	changed := false
+	for r := range s.taint {
+		if t := s.taint[r] | o.taint[r]; t != s.taint[r] {
+			s.taint[r] = t
+			changed = true
+		}
+		os := o.site[r]
+		if os != 0 && (s.site[r] == 0 || os < s.site[r]) {
+			s.site[r] = os
+			changed = true
+		}
+	}
+	if inf := s.inflight | o.inflight; inf != s.inflight {
+		s.inflight = inf
+		changed = true
+	}
+	if o.win > s.win {
+		s.win = o.win
+		s.guard = o.guard
+		changed = true
+	}
+	if o.flagsInflight && !s.flagsInflight {
+		s.flagsInflight = true
+		changed = true
+	}
+	return changed
+}
+
+// sitePair keys deduplicated (first, second) PC pairs.
+type sitePair [2]uint64
+
+// taintPass is the worklist abstract interpretation over one CFG.
+type taintPass struct {
+	g   *CFG
+	cfg Config
+	in  map[uint64]regState // block start -> joined entry state
+	// accesses: (guard PC, access PC) pairs observed in-window.
+	accesses map[sitePair]bool
+	// transmits: (access PC, transmit PC) pairs observed in-window.
+	transmits map[sitePair]bool
+}
+
+// visitBudget caps total block visits; the lattice guarantees
+// termination, but arbitrary fuzzed images deserve a hard stop too.
+const visitBudget = 1 << 16
+
+func runTaint(g *CFG, cfg Config) *taintPass {
+	p := &taintPass{
+		g:         g,
+		cfg:       cfg,
+		in:        map[uint64]regState{},
+		accesses:  map[sitePair]bool{},
+		transmits: map[sitePair]bool{},
+	}
+	entry := regState{live: true}
+	for _, r := range cfg.TaintedRegs {
+		if int(r) < isa.NumRegs {
+			entry.taint[r] = taintA
+		}
+	}
+	work := make([]uint64, 0, len(g.Roots))
+	for _, r := range g.Roots {
+		s := p.in[r]
+		if s.join(entry) {
+			p.in[r] = s
+			work = append(work, r)
+		}
+	}
+	visits := 0
+	for len(work) > 0 && visits < visitBudget {
+		visits++
+		start := work[len(work)-1]
+		work = work[:len(work)-1]
+		b, ok := g.Blocks[start]
+		if !ok {
+			continue
+		}
+		outs := p.flowBlock(b)
+		for succ, out := range outs {
+			s := p.in[succ]
+			if s.join(out) {
+				p.in[succ] = s
+				work = append(work, succ)
+			}
+		}
+	}
+	return p
+}
+
+// flowBlock runs the transfer function over one block from its joined
+// entry state and returns the per-successor exit states.
+func (p *taintPass) flowBlock(b *Block) map[uint64]regState {
+	s := p.in[b.Start]
+	for i, in := range b.Instrs {
+		pc := b.Start + uint64(i)*isa.InstrSize
+		last := i == len(b.Instrs)-1
+		if last {
+			// Terminal: compute successor states, including window
+			// opening at an unresolved conditional bounds check.
+			outs := map[uint64]regState{}
+			if in.Op.IsCondBranch() {
+				out := s
+				p.tick(&out)
+				if out.win == 0 && s.flagsInflight {
+					out.win = p.cfg.SpecWindow
+					out.guard = pc
+				}
+				for _, succ := range b.Succs {
+					outs[succ] = out
+				}
+				return outs
+			}
+			p.step(&s, pc, in)
+			for _, succ := range b.Succs {
+				outs[succ] = s
+			}
+			return outs
+		}
+		p.step(&s, pc, in)
+	}
+	return nil
+}
+
+// tick consumes one instruction slot of the open window, clearing
+// transient taint when the window expires.
+func (p *taintPass) tick(s *regState) {
+	if s.win > 0 {
+		s.win--
+		if s.win == 0 {
+			s.clearS()
+		}
+	}
+}
+
+// step is the transfer function for one non-terminal-branch instruction.
+// The window slot is consumed after the instruction's effects: the final
+// in-window instruction still sees (and can transmit) transient taint,
+// matching the core, which executes exactly SpecWindow wrong-path
+// instructions before the squash.
+func (p *taintPass) step(s *regState, pc uint64, in isa.Instruction) {
+	spec := s.win > 0
+	defer p.tick(s)
+	switch op := in.Op; {
+	case op == isa.MOVI || op == isa.RDTSC:
+		s.taint[in.Rd] = 0
+		s.site[in.Rd] = 0
+		s.setInflight(in.Rd, false)
+
+	case op == isa.MOV:
+		s.taint[in.Rd] = s.taint[in.Rs1]
+		s.site[in.Rd] = s.site[in.Rs1]
+		s.setInflight(in.Rd, s.isInflight(in.Rs1))
+
+	case op >= isa.ADD && op <= isa.SAR:
+		s.taint[in.Rd] = s.taint[in.Rs1] | s.taint[in.Rs2]
+		s.site[in.Rd] = firstSite(s.site[in.Rs1], s.site[in.Rs2])
+		s.setInflight(in.Rd, s.isInflight(in.Rs1) || s.isInflight(in.Rs2))
+
+	case op >= isa.ADDI && op <= isa.SHRI:
+		s.taint[in.Rd] = s.taint[in.Rs1]
+		s.site[in.Rd] = s.site[in.Rs1]
+		s.setInflight(in.Rd, s.isInflight(in.Rs1))
+
+	case op == isa.LOAD || op == isa.LOADB:
+		at := s.taint[in.Rs1]
+		if spec && at&taintS != 0 {
+			p.transmits[sitePair{s.site[in.Rs1], pc}] = true
+		}
+		if spec && at&taintA != 0 {
+			p.accesses[sitePair{s.guard, pc}] = true
+		}
+		if spec && at != 0 {
+			// The loaded value is a transient secret; keep provenance
+			// so a chained dereference reports the original access.
+			s.taint[in.Rd] = taintS
+			if at&taintA != 0 {
+				s.site[in.Rd] = pc
+			} else {
+				s.site[in.Rd] = s.site[in.Rs1]
+			}
+		} else {
+			s.taint[in.Rd] = 0
+			s.site[in.Rd] = 0
+		}
+		s.setInflight(in.Rd, true)
+
+	case op == isa.POP:
+		s.taint[in.Rd] = 0
+		s.site[in.Rd] = 0
+		s.setInflight(in.Rd, true)
+
+	case op == isa.CMP:
+		s.flagsInflight = s.isInflight(in.Rs1) || s.isInflight(in.Rs2)
+
+	case op == isa.CMPI:
+		s.flagsInflight = s.isInflight(in.Rs1)
+
+	case op == isa.MFENCE || op == isa.LFENCE || op == isa.SYSCALL || op == isa.HALT:
+		// Speculation barriers: close the window, squash transient
+		// values, and treat every pending load as drained.
+		s.win = 0
+		s.clearS()
+		s.inflight = 0
+		s.flagsInflight = false
+
+	default:
+		// NOP, stores, PUSH, CLFLUSH, control transfers handled by the
+		// CFG edges: no register effects in the abstract domain.
+	}
+}
+
+func firstSite(a, b uint64) uint64 {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+// findings assembles classified findings from the collected site pairs.
+func (p *taintPass) findings() []Finding {
+	type accessKey struct{ guard, access uint64 }
+	var keys []accessKey
+	for k := range p.accesses {
+		keys = append(keys, accessKey{k[0], k[1]})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].guard != keys[j].guard {
+			return keys[i].guard < keys[j].guard
+		}
+		return keys[i].access < keys[j].access
+	})
+	var out []Finding
+	limit := p.cfg.SpecWindow + 2
+	for _, k := range keys {
+		var txs []uint64
+		for t := range p.transmits {
+			if t[0] == k.access {
+				txs = append(txs, t[1])
+			}
+		}
+		sort.Slice(txs, func(i, j int) bool { return txs[i] < txs[j] })
+		if len(txs) > 0 {
+			for _, tx := range txs {
+				f := Finding{GuardPC: k.guard, AccessPC: k.access, TransmitPC: tx, Verdict: VerdictLeak}
+				if w1 := p.g.path(k.guard, k.access, limit); w1 != nil {
+					if w2 := p.g.path(k.access, tx, limit); w2 != nil {
+						f.Witness = append(w1, w2[1:]...)
+					}
+				}
+				out = append(out, f)
+			}
+			continue
+		}
+		v := VerdictNoTransmit
+		if p.transmitIgnoringFences(k.access) {
+			v = VerdictMitigated
+		}
+		out = append(out, Finding{GuardPC: k.guard, AccessPC: k.access, Verdict: v})
+	}
+	return out
+}
+
+// transmitIgnoringFences reports whether a load dependent on the value
+// loaded at access is reachable when fences and the window budget are
+// ignored — distinguishing "mitigated" (a transmit exists but a fence
+// or window exhaustion kills it) from "no-transmit" (the value never
+// becomes an address). Bounded forward dataflow over S-reg sets.
+func (p *taintPass) transmitIgnoringFences(access uint64) bool {
+	in, ok := p.g.InstrAt(access)
+	if !ok {
+		return false
+	}
+	type node struct {
+		pc   uint64
+		regs uint16 // registers carrying the transient secret
+	}
+	start := node{access + isa.InstrSize, 1 << in.Rd}
+	seen := map[node]bool{start: true}
+	work := []node{start}
+	for steps := 0; len(work) > 0 && steps < visitBudget; steps++ {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		in, ok := p.g.InstrAt(n.pc)
+		if !ok {
+			continue
+		}
+		regs := n.regs
+		switch op := in.Op; {
+		case op == isa.LOAD || op == isa.LOADB:
+			if regs&(1<<in.Rs1) != 0 {
+				return true
+			}
+			regs &^= 1 << in.Rd
+		case op == isa.MOVI || op == isa.RDTSC || op == isa.POP:
+			regs &^= 1 << in.Rd
+		case op == isa.MOV:
+			if regs&(1<<in.Rs1) != 0 {
+				regs |= 1 << in.Rd
+			} else {
+				regs &^= 1 << in.Rd
+			}
+		case op >= isa.ADD && op <= isa.SAR:
+			if regs&(1<<in.Rs1) != 0 || regs&(1<<in.Rs2) != 0 {
+				regs |= 1 << in.Rd
+			} else {
+				regs &^= 1 << in.Rd
+			}
+		case op >= isa.ADDI && op <= isa.SHRI:
+			if regs&(1<<in.Rs1) != 0 {
+				regs |= 1 << in.Rd
+			} else {
+				regs &^= 1 << in.Rd
+			}
+		}
+		if regs == 0 {
+			continue
+		}
+		for _, succ := range p.g.succPCs(n.pc) {
+			nn := node{succ, regs}
+			if !seen[nn] {
+				seen[nn] = true
+				work = append(work, nn)
+			}
+		}
+	}
+	return false
+}

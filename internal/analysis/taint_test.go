@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// victimShape builds the canonical v1 gadget with configurable spacing
+// and an optional fence, bound-resolving CMPI, or missing transmit:
+//
+//	movi r4, boundAddr
+//	load r5, [r4]          ; bound in flight
+//	cmp  r1, r5
+//	jae  out               ; guard
+//	loadb r2, [r1+0x40000] ; access (r1 attacker-tainted)
+//	[lfence]
+//	shli r2, r2, 6
+//	[pads...]
+//	loadb r3, [r2+0x50000] ; transmit
+//	out: halt
+func victimShape(t *testing.T, fence bool, pads int, transmit bool, resolvedBound bool) []byte {
+	t.Helper()
+	var ins []isa.Instruction
+	if resolvedBound {
+		ins = append(ins, isa.Instruction{Op: isa.CMPI, Rs1: 1, Imm: 8})
+	} else {
+		ins = append(ins,
+			isa.Instruction{Op: isa.MOVI, Rd: 4, Imm: 0x60000},
+			isa.Instruction{Op: isa.LOAD, Rd: 5, Rs1: 4},
+			isa.Instruction{Op: isa.CMP, Rs1: 1, Rs2: 5},
+		)
+	}
+	guard := len(ins)
+	ins = append(ins, isa.Instruction{Op: isa.JAE}) // target patched below
+	ins = append(ins, isa.Instruction{Op: isa.LOADB, Rd: 2, Rs1: 1, Imm: 0x40000})
+	if fence {
+		ins = append(ins, isa.Instruction{Op: isa.LFENCE})
+	}
+	ins = append(ins, isa.Instruction{Op: isa.SHLI, Rd: 2, Rs1: 2, Imm: 6})
+	for i := 0; i < pads; i++ {
+		ins = append(ins, isa.Instruction{Op: isa.ADDI, Rd: 7, Rs1: 7, Imm: 1})
+	}
+	if transmit {
+		ins = append(ins, isa.Instruction{Op: isa.LOADB, Rd: 3, Rs1: 2, Imm: 0x50000})
+	}
+	out := len(ins)
+	ins = append(ins, isa.Instruction{Op: isa.HALT})
+	ins[guard].Imm = int64(at(out))
+	return enc(t, ins...)
+}
+
+func analyzeTainted(code []byte) *Report {
+	return Analyze(code, base, Config{TaintedRegs: []uint8{1}}, base)
+}
+
+func TestTaintFlagsLeak(t *testing.T) {
+	rep := analyzeTainted(victimShape(t, false, 0, true, false))
+	leaks := rep.Leaks()
+	if len(leaks) != 1 {
+		t.Fatalf("leaks = %+v, want exactly 1", rep.Findings)
+	}
+	f := leaks[0]
+	if f.GuardPC != at(3) || f.AccessPC != at(4) || f.TransmitPC != at(6) {
+		t.Errorf("finding sites = %#x/%#x/%#x, want guard@3 access@4 transmit@6", f.GuardPC, f.AccessPC, f.TransmitPC)
+	}
+	if len(f.Witness) == 0 {
+		t.Error("no witness path")
+	}
+}
+
+func TestTaintFenceMitigates(t *testing.T) {
+	rep := analyzeTainted(victimShape(t, true, 0, true, false))
+	if n := len(rep.Leaks()); n != 0 {
+		t.Fatalf("fenced shape flagged as leak: %+v", rep.Findings)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Verdict == VerdictMitigated {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no mitigated finding: %+v", rep.Findings)
+	}
+}
+
+func TestTaintWindowExhaustion(t *testing.T) {
+	// 70 pads push the transmit past the 64-instruction window.
+	rep := analyzeTainted(victimShape(t, false, 70, true, false))
+	if n := len(rep.Leaks()); n != 0 {
+		t.Fatalf("padded shape flagged as leak: %+v", rep.Findings)
+	}
+	// With a window big enough to span the pads it leaks again.
+	rep = Analyze(victimShape(t, false, 70, true, false), base,
+		Config{TaintedRegs: []uint8{1}, SpecWindow: 128}, base)
+	if n := len(rep.Leaks()); n != 1 {
+		t.Fatalf("wide window: leaks = %d, want 1 (%+v)", n, rep.Findings)
+	}
+}
+
+func TestTaintNoTransmit(t *testing.T) {
+	rep := analyzeTainted(victimShape(t, false, 0, false, false))
+	if n := len(rep.Leaks()); n != 0 {
+		t.Fatalf("no-transmit shape flagged as leak: %+v", rep.Findings)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Verdict == VerdictNoTransmit {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no no-transmit finding: %+v", rep.Findings)
+	}
+}
+
+// TestTaintResolvedBoundOpensNoWindow: a CMPI against an immediate
+// leaves no operand in flight, so the branch cannot arm speculation and
+// the pass must stay silent.
+func TestTaintResolvedBoundOpensNoWindow(t *testing.T) {
+	rep := analyzeTainted(victimShape(t, false, 0, true, true))
+	if len(rep.Findings) != 0 {
+		t.Fatalf("resolved-bound shape produced findings: %+v", rep.Findings)
+	}
+}
+
+// TestTaintKill: overwriting the tainted register with a constant before
+// the gadget sanitizes it.
+func TestTaintKill(t *testing.T) {
+	code := enc(t, isa.Instruction{Op: isa.MOVI, Rd: 1, Imm: 3})
+	code = append(code, victimShape(t, false, 0, true, false)...)
+	// Rebase: victimShape encoded targets assuming the gadget starts at
+	// base, but it now starts one slot later. Re-encode instead.
+	ins := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 1, Imm: 3}, // kill the taint
+		{Op: isa.MOVI, Rd: 4, Imm: 0x60000},
+		{Op: isa.LOAD, Rd: 5, Rs1: 4},
+		{Op: isa.CMP, Rs1: 1, Rs2: 5},
+		{Op: isa.JAE, Imm: int64(at(7))},
+		{Op: isa.LOADB, Rd: 2, Rs1: 1, Imm: 0x40000},
+		{Op: isa.SHLI, Rd: 2, Rs1: 2, Imm: 6},
+		{Op: isa.HALT},
+	}
+	rep := analyzeTainted(enc(t, ins...))
+	if len(rep.Findings) != 0 {
+		t.Fatalf("killed taint still produced findings: %+v", rep.Findings)
+	}
+}
+
+// TestTaintPropagatesThroughALU: the index may be masked/scaled before
+// use (the spectre victim does add+shift); taint must follow.
+func TestTaintPropagatesThroughALU(t *testing.T) {
+	ins := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 4, Imm: 0x60000},
+		{Op: isa.LOAD, Rd: 5, Rs1: 4},
+		{Op: isa.CMP, Rs1: 1, Rs2: 5},
+		{Op: isa.JAE, Imm: int64(at(10))},
+		{Op: isa.MOV, Rd: 6, Rs1: 1},               // taint via MOV
+		{Op: isa.ANDI, Rd: 6, Rs1: 6, Imm: 0xFFFF}, // taint via ALU-imm
+		{Op: isa.MOVI, Rd: 7, Imm: 0x40000},
+		{Op: isa.ADD, Rd: 6, Rs1: 6, Rs2: 7}, // taint via ALU-reg
+		{Op: isa.LOADB, Rd: 2, Rs1: 6},       // access
+		{Op: isa.LOADB, Rd: 3, Rs1: 2, Imm: 0x50000},
+		{Op: isa.HALT},
+	}
+	rep := analyzeTainted(enc(t, ins...))
+	if len(rep.Leaks()) != 1 {
+		t.Fatalf("ALU-routed taint missed: %+v", rep.Findings)
+	}
+}
+
+// TestTaintSecondLoadChain: a chained double dereference inside the
+// window (access feeds a load that feeds another load) must report the
+// first dependent load as the transmit.
+func TestTaintSecondLoadChain(t *testing.T) {
+	ins := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 4, Imm: 0x60000},
+		{Op: isa.LOAD, Rd: 5, Rs1: 4},
+		{Op: isa.CMP, Rs1: 1, Rs2: 5},
+		{Op: isa.JAE, Imm: int64(at(7))},
+		{Op: isa.LOADB, Rd: 2, Rs1: 1, Imm: 0x40000}, // access
+		{Op: isa.LOAD, Rd: 3, Rs1: 2, Imm: 0x50000},  // transmit 1
+		{Op: isa.LOADB, Rd: 6, Rs1: 3},               // transmit 2 (chained)
+		{Op: isa.HALT},
+	}
+	rep := analyzeTainted(enc(t, ins...))
+	leaks := rep.Leaks()
+	if len(leaks) != 2 {
+		t.Fatalf("chained transmits = %+v, want 2 leak findings", rep.Findings)
+	}
+	for _, f := range leaks {
+		if f.AccessPC != at(4) {
+			t.Errorf("chained finding lost provenance: access = %#x, want %#x", f.AccessPC, at(4))
+		}
+	}
+}
+
+// TestTaintUntaintedQuiet: with no tainted registers the pass finds
+// nothing, no matter the shape.
+func TestTaintUntaintedQuiet(t *testing.T) {
+	rep := Analyze(victimShape(t, false, 0, true, false), base, Config{}, base)
+	if len(rep.Findings) != 0 {
+		t.Fatalf("untainted analysis produced findings: %+v", rep.Findings)
+	}
+}
+
+// TestTaintLoopTerminates: a tainted loop with a window-opening branch
+// must reach a fixpoint, not spin.
+func TestTaintLoopTerminates(t *testing.T) {
+	ins := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 4, Imm: 0x60000},
+		{Op: isa.LOAD, Rd: 5, Rs1: 4},
+		{Op: isa.CMP, Rs1: 1, Rs2: 5},
+		{Op: isa.JAE, Imm: int64(at(0))}, // loop back to the load
+		{Op: isa.LOADB, Rd: 2, Rs1: 1, Imm: 0x40000},
+		{Op: isa.LOADB, Rd: 3, Rs1: 2, Imm: 0x50000},
+		{Op: isa.JMP, Imm: int64(at(0))},
+	}
+	rep := analyzeTainted(enc(t, ins...))
+	if len(rep.Leaks()) == 0 {
+		t.Fatalf("looped gadget missed: %+v", rep.Findings)
+	}
+}

@@ -252,7 +252,9 @@ func (h *Hierarchy) Access(addr uint64) (latency uint64, level int) {
 
 // accessTraced is Access with event emission: identical lookup/fill
 // behaviour, plus KindCacheFill on miss and KindCacheEvict per line the
-// fill displaced.
+// fill displaced. Access dispatches here only when h.Tel != nil.
+//
+//crspectrevet:guarded
 func (h *Hierarchy) accessTraced(addr uint64) (latency uint64, level int) {
 	e1, e2 := h.L1.stats.Evicts, h.L2.stats.Evicts
 	if h.L1.Access(addr) {

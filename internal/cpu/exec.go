@@ -65,8 +65,9 @@ func (c *CPU) retireHooks(pc uint64, in isa.Instruction) {
 // telEmit is the shared outlined emit behind every core hook site: the
 // disabled path at each site stays a bare nil check (plus at most a
 // window compare), and the Event construction never occupies a hot
-// function's code footprint.
+// function's code footprint. Every call site checks c.tel != nil.
 //
+//crspectrevet:guarded
 //go:noinline
 func (c *CPU) telEmit(kind telemetry.Kind, cyc, pc, addr, val uint64) {
 	c.tel.Emit(telemetry.Event{Kind: kind, Cycle: cyc, PC: pc, Addr: addr, Val: val})

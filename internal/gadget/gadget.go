@@ -40,18 +40,11 @@ func Scan(img *isa.Image, maxLen int) []Gadget {
 	if maxLen < 1 {
 		maxLen = 1
 	}
-	code := img.Code
-	n := len(code) / isa.InstrSize
-	decoded := make([]*isa.Instruction, n)
-	for i := 0; i < n; i++ {
-		if in, err := isa.Decode(code[i*isa.InstrSize:]); err == nil {
-			inCopy := in
-			decoded[i] = &inCopy
-		}
-	}
+	slots, _ := isa.DecodeSlots(img.Code)
+	n := len(slots)
 	var out []Gadget
 	for i := 0; i < n; i++ {
-		if decoded[i] == nil || decoded[i].Op != isa.RET {
+		if slots[i].Err != nil || slots[i].In.Op != isa.RET {
 			continue
 		}
 		// Walk backwards up to maxLen-1 preceding instructions. Every
@@ -64,7 +57,7 @@ func Scan(img *isa.Image, maxLen int) []Gadget {
 			}
 			ok := true
 			for j := start; j < i; j++ {
-				if decoded[j] == nil || decoded[j].Op.IsBranch() || decoded[j].Op == isa.HALT {
+				if slots[j].Err != nil || slots[j].In.Op.IsBranch() || slots[j].In.Op == isa.HALT {
 					ok = false
 					break
 				}
@@ -74,7 +67,7 @@ func Scan(img *isa.Image, maxLen int) []Gadget {
 			}
 			instrs := make([]isa.Instruction, 0, back+1)
 			for j := start; j <= i; j++ {
-				instrs = append(instrs, *decoded[j])
+				instrs = append(instrs, slots[j].In)
 			}
 			out = append(out, Gadget{
 				Addr:   img.Base + uint64(start*isa.InstrSize),

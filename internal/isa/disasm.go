@@ -23,6 +23,30 @@ func DisasmAll(code []byte, base uint64) string {
 	return b.String()
 }
 
+// SlotDecode is the decode result of one aligned instruction slot: the
+// instruction when Err is nil, or the reason the slot is not canonical
+// code (junk bytes, data mapped executable, a mid-rewrite SMC slot).
+type SlotDecode struct {
+	In  Instruction
+	Err error
+}
+
+// DecodeSlots decodes every whole InstrSize-aligned slot of code and
+// returns one entry per slot plus the number of trailing bytes that do
+// not fill a slot (a truncated final instruction). Unlike DecodeAll it
+// does not stop at the first invalid slot: static analysis over images
+// that interleave code and data needs the full per-slot validity map,
+// and the gadget scanner needs every decodable suffix regardless of the
+// junk around it.
+func DecodeSlots(code []byte) (slots []SlotDecode, truncated int) {
+	n := len(code) / InstrSize
+	slots = make([]SlotDecode, n)
+	for i := 0; i < n; i++ {
+		slots[i].In, slots[i].Err = Decode(code[i*InstrSize:])
+	}
+	return slots, len(code) - n*InstrSize
+}
+
 // DecodeAll decodes code into a slice of instructions, failing on the
 // first invalid slot.
 func DecodeAll(code []byte) ([]Instruction, error) {

@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustEncode builds the canonical byte stream for a sequence of
+// instructions, failing the test on any non-canonical input.
+func mustEncode(t *testing.T, ins ...Instruction) []byte {
+	t.Helper()
+	code := make([]byte, len(ins)*InstrSize)
+	for i, in := range ins {
+		if err := in.Encode(code[i*InstrSize:]); err != nil {
+			t.Fatalf("encode %d (%v): %v", i, in, err)
+		}
+	}
+	return code
+}
+
+func TestDecodeSlotsRoundTrip(t *testing.T) {
+	ins := []Instruction{
+		{Op: MOVI, Rd: 1, Imm: 42},
+		{Op: ADD, Rd: 2, Rs1: 1, Rs2: 1},
+		{Op: JMP, Imm: 0x10000},
+		{Op: RET},
+	}
+	slots, trunc := DecodeSlots(mustEncode(t, ins...))
+	if trunc != 0 {
+		t.Fatalf("truncated = %d, want 0", trunc)
+	}
+	if len(slots) != len(ins) {
+		t.Fatalf("got %d slots, want %d", len(slots), len(ins))
+	}
+	for i, s := range slots {
+		if s.Err != nil {
+			t.Fatalf("slot %d: unexpected error %v", i, s.Err)
+		}
+		if s.In != ins[i] {
+			t.Fatalf("slot %d: decoded %v, want %v", i, s.In, ins[i])
+		}
+		// The canonical-encoding contract CFG recovery relies on: every
+		// decoded slot re-encodes to the exact bytes it came from.
+		var buf [InstrSize]byte
+		if err := s.In.Encode(buf[:]); err != nil {
+			t.Fatalf("slot %d: re-encode: %v", i, err)
+		}
+	}
+}
+
+// TestDecodeSlotsTruncatedTail covers the truncated-final-instruction
+// case: an image whose code section length is not a slot multiple. The
+// whole slots must still decode and the ragged tail must be reported,
+// not silently dropped or decoded out of thin air.
+func TestDecodeSlotsTruncatedTail(t *testing.T) {
+	code := mustEncode(t, Instruction{Op: MOVI, Rd: 3, Imm: 7}, Instruction{Op: RET})
+	for cut := 1; cut < InstrSize; cut++ {
+		slots, trunc := DecodeSlots(code[:len(code)-cut])
+		if len(slots) != 1 {
+			t.Fatalf("cut %d: got %d slots, want 1", cut, len(slots))
+		}
+		if slots[0].Err != nil || slots[0].In.Op != MOVI {
+			t.Fatalf("cut %d: slot 0 = %v/%v, want movi", cut, slots[0].In, slots[0].Err)
+		}
+		if want := InstrSize - cut; trunc != want {
+			t.Fatalf("cut %d: truncated = %d, want %d", cut, trunc, want)
+		}
+	}
+	// DecodeAll, by contrast, must reject the ragged length outright.
+	if _, err := DecodeAll(code[:len(code)-3]); err == nil {
+		t.Fatal("DecodeAll accepted a truncated stream")
+	}
+}
+
+// TestDecodeSlotsInvalidInterleaved models an RWX page mid-rewrite (or
+// plain data mapped executable): invalid slots must carry errors while
+// their neighbours still decode — the property that lets CFG recovery
+// and the gadget scanner work on partially-junk images.
+func TestDecodeSlotsInvalidInterleaved(t *testing.T) {
+	code := mustEncode(t,
+		Instruction{Op: MOVI, Rd: 1, Imm: 1},
+		Instruction{Op: NOP},
+		Instruction{Op: RET},
+	)
+	// Corrupt the middle slot three ways: junk opcode, out-of-range
+	// register, nonzero reserved byte.
+	for name, corrupt := range map[string]func(b []byte){
+		"junk-opcode":   func(b []byte) { b[0] = 0xFF },
+		"bad-register":  func(b []byte) { b[0] = byte(MOV); b[1] = NumRegs },
+		"reserved-byte": func(b []byte) { b[13] = 1 },
+	} {
+		c := append([]byte(nil), code...)
+		corrupt(c[InstrSize : 2*InstrSize])
+		slots, _ := DecodeSlots(c)
+		if slots[0].Err != nil || slots[2].Err != nil {
+			t.Fatalf("%s: neighbour slots broken: %v / %v", name, slots[0].Err, slots[2].Err)
+		}
+		if slots[1].Err == nil {
+			t.Fatalf("%s: corrupted slot decoded as %v", name, slots[1].In)
+		}
+	}
+}
+
+// TestDisasmAllMidInstructionView covers the branch-to-mid-instruction
+// scenario: disassembling from an unaligned offset reads the same bytes
+// under a shifted frame, so slots that were valid become junk ("??")
+// rather than phantom instructions. CFG recovery treats such targets as
+// invalid for exactly this reason.
+func TestDisasmAllMidInstructionView(t *testing.T) {
+	code := mustEncode(t,
+		Instruction{Op: MOVI, Rd: 1, Imm: 0x123456789}, // imm bytes land on the shifted opcode
+		Instruction{Op: MOVI, Rd: 2, Imm: 0x123456789},
+		Instruction{Op: RET},
+	)
+	aligned := DisasmAll(code, 0x10000)
+	if strings.Contains(aligned, "??") {
+		t.Fatalf("aligned view has junk:\n%s", aligned)
+	}
+	shifted := DisasmAll(code[8:], 0x10008)
+	if !strings.Contains(shifted, "??") {
+		t.Fatalf("mid-instruction view decoded cleanly:\n%s", shifted)
+	}
+}
+
+func TestDisasmAllRendersAddresses(t *testing.T) {
+	code := mustEncode(t, Instruction{Op: NOP}, Instruction{Op: HALT})
+	out := DisasmAll(code, 0x40000)
+	for _, want := range []string{"0x0000040000: nop", "0x0000040010: halt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DisasmAll output missing %q:\n%s", want, out)
+		}
+	}
+}

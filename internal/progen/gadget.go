@@ -1,0 +1,254 @@
+// Gadget-program generation: seeded random programs each embedding one
+// labeled Spectre-v1 gadget variant, used to cross-validate the static
+// analyzer (internal/analysis) against the simulator. This lives beside
+// but deliberately apart from Generate: difftest's corpus is pinned by
+// seed, so the gadget generator draws from its own RNG stream and never
+// touches Generate's code path.
+
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// GadgetKind selects which labeled variant of the bounds-check gadget a
+// generated program embeds. Exactly one kind leaks.
+type GadgetKind int
+
+const (
+	// GadgetLeak is the full Spectre-v1 pattern: flushed bound check,
+	// attacker-indexed byte load, dependent probe-line load. Leaks.
+	GadgetLeak GadgetKind = iota
+	// GadgetFenced inserts an LFENCE between the access and the
+	// transmit — the paper's software mitigation. Does not leak.
+	GadgetFenced
+	// GadgetSanitized overwrites the attacker index with an in-bounds
+	// constant before the malicious call. Does not leak.
+	GadgetSanitized
+	// GadgetNoTransmit loads the secret transiently but never uses it
+	// as an address. Does not leak.
+	GadgetNoTransmit
+	// GadgetResolvedBound compares against an immediate bound, so the
+	// flags resolve before the branch and no window opens. Does not
+	// leak.
+	GadgetResolvedBound
+	// GadgetPadded pads the dependency chain past the speculation
+	// window, so the transmit never issues transiently. Does not leak.
+	GadgetPadded
+
+	NumGadgetKinds = int(GadgetPadded) + 1
+)
+
+func (k GadgetKind) String() string {
+	switch k {
+	case GadgetLeak:
+		return "leak"
+	case GadgetFenced:
+		return "fenced"
+	case GadgetSanitized:
+		return "sanitized"
+	case GadgetNoTransmit:
+		return "no-transmit"
+	case GadgetResolvedBound:
+		return "resolved-bound"
+	case GadgetPadded:
+		return "padded"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ExpectLeak is the ground-truth label: whether a program of this kind
+// leaks its secret byte into the probe array's cache lines.
+func (k GadgetKind) ExpectLeak() bool { return k == GadgetLeak }
+
+// GadgetKinds lists every variant, leak first.
+func GadgetKinds() []GadgetKind {
+	out := make([]GadgetKind, NumGadgetKinds)
+	for i := range out {
+		out[i] = GadgetKind(i)
+	}
+	return out
+}
+
+// Data-region layout of gadget programs. Benign filler blocks confine
+// their traffic to the first page; the gadget's working set sits above
+// it, each datum on its own cache line.
+const (
+	gadBenignPages = 1               // benign traffic: page 0 only
+	gadBoundOff    = 0x2000          // uint64 bound (= gadArrLen)
+	gadArrOff      = 0x2040          // byte array arr[gadArrLen]
+	gadArrLen      = 8               //
+	gadSecretOff   = 0x2400          // the secret byte (own line)
+	gadProbeOff    = 0x3000          // probe array: 256 lines x 64B
+	gadProbeStride = 64              //
+	gadDataPages   = 7               // 0x7000 bytes total
+	gadTaintReg    = isa.RegBP       // attacker-controlled index register
+	gadTrainCalls  = 6               // in-bounds calls before the attack
+	gadPadCount    = 70              // dependency padding (> SpecWindow)
+	gadSafeIndex   = 3               // in-bounds constant for Sanitized
+)
+
+// GadgetMeta describes the generated gadget to the analyzer's dynamic
+// cross-check: where the pattern sits, which register carries the
+// attacker index, and where the covert channel lands.
+type GadgetMeta struct {
+	Kind     GadgetKind
+	TaintReg uint8
+	// TaintVal is the out-of-bounds index the runner plants in
+	// TaintReg: secret address minus array base.
+	TaintVal uint64
+	// GuardPC/AccessPC/TransmitPC locate the gadget's three roles
+	// (TransmitPC is zero for the no-transmit kind).
+	GuardPC    uint64
+	AccessPC   uint64
+	TransmitPC uint64
+	// SecretAddr is where the runner writes the secret byte; the leak
+	// lands on ProbeBase + secret*ProbeStride.
+	SecretAddr  uint64
+	ProbeBase   uint64
+	ProbeStride uint64
+}
+
+// GenerateGadget builds a seeded random program embedding one labeled
+// gadget of the given kind: a prologue and 2-5 benign filler blocks
+// (drawn from the same emitters as Generate, constrained away from the
+// gadget's registers and data), then a fence, predictor training, a
+// bound flush, and the malicious call, then HALT; the victim routine
+// follows. The returned meta carries the ground-truth label and the
+// addresses the agreement harness needs.
+//
+// Construction invariants the static/dynamic agreement rests on:
+//
+//   - only TaintReg (r14/bp) is attacker-tainted, and benign blocks
+//     never read or write it (the filler emitters use r0-r13);
+//   - the leading MFENCE closes any speculation window a benign
+//     bounds-check block may have opened, so the only window reaching
+//     the access is the victim's own guard;
+//   - gadTrainCalls not-taken executions saturate the guard's 2-bit
+//     counter toward not-taken even if an aliased benign branch trained
+//     it taken, so the malicious call mispredicts;
+//   - the flushed bound load keeps the guard's flags in flight, arming
+//     wrong-path execution (except GadgetResolvedBound, whose CMPI
+//     resolves immediately);
+//   - training indices stay in 0..gadArrLen-1, so only probe lines
+//     0..7 are architecturally warmed — disjoint from the secret bytes
+//     the dynamic check plants (which avoid 0..7).
+func GenerateGadget(seed int64, kind GadgetKind) (Program, GadgetMeta) {
+	g := &gen{
+		rng:      rand.New(rand.NewSource(sched.DeriveSeed(seed, uint64(1000+int(kind))))),
+		opts:     Options{Blocks: 1, Funcs: -1, DataPages: gadBenignPages, SMCProb: -1, FaultProb: -1}.withDefaults(),
+		dataSize: gadBenignPages * mem.PageSize,
+	}
+
+	const (
+		boundAddr  = DataBase + gadBoundOff
+		arrBase    = DataBase + gadArrOff
+		secretAddr = DataBase + gadSecretOff
+		probeBase  = DataBase + gadProbeOff
+	)
+
+	g.prologue()
+	for b, n := 0, 2+g.rng.Intn(4); b < n; b++ {
+		g.block()
+	}
+
+	victim := g.newLabel()
+
+	// The gadget sequence. MFENCE first: a clean speculative slate.
+	g.emit(isa.Instruction{Op: isa.MFENCE})
+	g.emit(isa.Instruction{Op: isa.MOV, Rd: 2, Rs1: gadTaintReg}) // save the index
+	for k := 0; k < gadTrainCalls; k++ {
+		g.emit(isa.Instruction{Op: isa.MOVI, Rd: gadTaintReg, Imm: int64(k % gadArrLen)})
+		g.emitRef(isa.Instruction{Op: isa.CALL}, victim)
+	}
+	g.emit(isa.Instruction{Op: isa.MOVI, Rd: 4, Imm: boundAddr})
+	g.emit(isa.Instruction{Op: isa.CLFLUSH, Rs1: 4})
+	g.emit(isa.Instruction{Op: isa.MFENCE})
+	if kind == GadgetSanitized {
+		g.emit(isa.Instruction{Op: isa.MOVI, Rd: gadTaintReg, Imm: gadSafeIndex})
+	} else {
+		g.emit(isa.Instruction{Op: isa.MOV, Rd: gadTaintReg, Rs1: 2}) // restore the index
+	}
+	g.emitRef(isa.Instruction{Op: isa.CALL}, victim)
+	g.emit(isa.Instruction{Op: isa.HALT})
+
+	// The victim: if (x < bound) { t = arr[x]; leak probe[t*64] }.
+	vout := g.newLabel()
+	g.bind(victim)
+	if kind == GadgetResolvedBound {
+		g.emit(isa.Instruction{Op: isa.CMPI, Rs1: gadTaintReg, Imm: gadArrLen})
+	} else {
+		g.emit(isa.Instruction{Op: isa.MOVI, Rd: 4, Imm: boundAddr})
+		g.emit(isa.Instruction{Op: isa.LOAD, Rd: 5, Rs1: 4})
+		g.emit(isa.Instruction{Op: isa.CMP, Rs1: gadTaintReg, Rs2: 5})
+	}
+	guardIdx := len(g.ins)
+	g.emitRef(isa.Instruction{Op: isa.JAE}, vout)
+	accessIdx := len(g.ins)
+	g.emit(isa.Instruction{Op: isa.LOADB, Rd: 6, Rs1: gadTaintReg, Imm: arrBase})
+	if kind == GadgetFenced {
+		g.emit(isa.Instruction{Op: isa.LFENCE})
+	}
+	g.emit(isa.Instruction{Op: isa.SHLI, Rd: 6, Rs1: 6, Imm: 6})
+	if kind == GadgetPadded {
+		for i := 0; i < gadPadCount; i++ {
+			g.emit(isa.Instruction{Op: isa.ADDI, Rd: 7, Rs1: 7, Imm: 1})
+		}
+	}
+	transmitIdx := -1
+	if kind != GadgetNoTransmit {
+		transmitIdx = len(g.ins)
+		g.emit(isa.Instruction{Op: isa.LOADB, Rd: 8, Rs1: 6, Imm: probeBase})
+	}
+	g.bind(vout)
+	g.emit(isa.Instruction{Op: isa.RET})
+
+	code := g.encode()
+	data := make([]byte, gadDataPages*mem.PageSize)
+	g.rng.Read(data[:gadBenignPages*mem.PageSize])
+	putU64(data[gadBoundOff:], gadArrLen)
+	for i := 0; i < gadArrLen; i++ {
+		data[gadArrOff+i] = byte(i)
+	}
+	data[gadSecretOff] = 0xAA // placeholder; the runner plants the secret
+
+	p := Program{
+		Seed:     seed,
+		Code:     code,
+		NumInstr: len(g.ins),
+		CodeBase: CodeBase,
+		Data:     data,
+		DataBase: DataBase,
+		StackTop: MemSize - mem.PageSize,
+		MemSize:  MemSize,
+	}
+	pcOf := func(idx int) uint64 {
+		if idx < 0 {
+			return 0
+		}
+		return CodeBase + uint64(idx)*isa.InstrSize
+	}
+	meta := GadgetMeta{
+		Kind:        kind,
+		TaintReg:    gadTaintReg,
+		TaintVal:    secretAddr - arrBase,
+		GuardPC:     pcOf(guardIdx),
+		AccessPC:    pcOf(accessIdx),
+		TransmitPC:  pcOf(transmitIdx),
+		SecretAddr:  secretAddr,
+		ProbeBase:   probeBase,
+		ProbeStride: gadProbeStride,
+	}
+	return p, meta
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -49,6 +49,15 @@ func AnnotateProbe(c *cpu.CPU, img *isa.Image) {
 	}
 }
 
+// VictimSymbol names the bounds-checked victim routine inside generated
+// attack binaries; static analysis roots at it.
+const VictimSymbol = "victim"
+
+// StaticTaintRegs describes the attack binaries' taint convention to
+// the static analyzer: the attacker-controlled index enters the victim
+// routine in r1 (see the Source register conventions).
+func StaticTaintRegs() []uint8 { return []uint8{1} }
+
 // Variant selects the mistrained prediction structure.
 type Variant int
 

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// diagnostic is one finding, positioned for file:line:col rendering.
+type diagnostic struct {
+	pos token.Pos
+	msg string
+}
+
+// guestFacing lists the packages modelling guest-visible
+// micro-architecture. Their behaviour must be a pure function of guest
+// state and the seeded configuration — host entropy (the wall clock,
+// math/rand) would break run-to-run determinism and the differential
+// oracle.
+var guestFacing = map[string]bool{
+	"repro/internal/cpu":    true,
+	"repro/internal/cache":  true,
+	"repro/internal/mem":    true,
+	"repro/internal/branch": true,
+	"repro/internal/isa":    true,
+}
+
+// guardedDirective marks a function whose callers maintain the
+// recorder-non-nil invariant (outlined emit helpers, traced slow
+// paths), suppressing the in-function guard requirement.
+const guardedDirective = "crspectrevet:guarded"
+
+// recorderPath is the telemetry package; its Recorder methods are not
+// nil-safe, so every call site outside the package needs a guard.
+const recorderPath = "repro/internal/telemetry"
+
+// checkEmitGuards enforces the telemetry hook convention: every call to
+// (*telemetry.Recorder).Emit — and to the cpu core's outlined telEmit
+// wrapper — must be dominated by a nil check of the recorder. Accepted
+// guards, matching the repo's three idioms:
+//
+//	if rec != nil { rec.Emit(...) }              // enclosing condition
+//	if a < b && c.tel != nil { c.telEmit(...) }  // conjunct condition
+//	if rec == nil { return }; ...; rec.Emit(...) // early return
+//
+// Functions carrying a "crspectrevet:guarded" directive in their doc
+// comment declare the invariant caller-maintained and are skipped, as
+// are test files and the telemetry package itself.
+func checkEmitGuards(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string) []diagnostic {
+	if pkgPath == recorderPath || strings.HasSuffix(pkgPath, "_test") ||
+		strings.HasSuffix(pkgPath, ".test") {
+		return nil
+	}
+	var diags []diagnostic
+	for _, f := range files {
+		if strings.HasSuffix(fset.File(f.Pos()).Name(), "_test.go") {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				if guardExpr, site := emitSite(info, call); site != "" && !isGuarded(stack, call, guardExpr) {
+					diags = append(diags, diagnostic{
+						pos: call.Pos(),
+						msg: site + " call not nil-guarded: dominate it with \"" +
+							guardExpr + " != nil\" (or mark the function " + guardedDirective + ")",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// emitSite classifies a call as a telemetry hook needing a guard. It
+// returns the expression that must be nil-checked and a description, or
+// "" when the call is not a hook.
+func emitSite(info *types.Info, call *ast.CallExpr) (guardExpr, site string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Emit":
+		if !isRecorder(info, sel.X) {
+			return "", ""
+		}
+		return types.ExprString(sel.X), "telemetry.Recorder.Emit"
+	case "telEmit":
+		// The core's outlined wrapper dereferences c.tel unchecked by
+		// design; the check moves to its call sites.
+		return types.ExprString(sel.X) + ".tel", "cpu telEmit"
+	}
+	return "", ""
+}
+
+// isRecorder reports whether e's static type is telemetry.Recorder (or
+// a pointer to it).
+func isRecorder(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil && obj.Pkg().Path() == recorderPath
+}
+
+// isGuarded reports whether the call at the end of path is dominated by
+// a nil check of guardExpr under the accepted idioms.
+func isGuarded(path []ast.Node, call *ast.CallExpr, guardExpr string) bool {
+	var enclosing ast.Node // nearest enclosing function
+	for i := len(path) - 1; i >= 0; i-- {
+		switch n := path[i].(type) {
+		case *ast.IfStmt:
+			if condMentionsNotNil(n, guardExpr) {
+				return true
+			}
+		case *ast.FuncDecl:
+			if enclosing == nil {
+				enclosing = n
+			}
+			if hasGuardedDirective(n.Doc) {
+				return true
+			}
+		case *ast.FuncLit:
+			if enclosing == nil {
+				enclosing = n
+			}
+		}
+	}
+	// Early-return idiom: a preceding "if guardExpr == nil { ... return }"
+	// anywhere in the nearest enclosing function.
+	var body *ast.BlockStmt
+	switch fn := enclosing.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	default:
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.End() > call.Pos() {
+			return true
+		}
+		if condTextIs(ifs.Cond, guardExpr+" == nil") && endsInReturn(ifs.Body) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// condMentionsNotNil reports whether the if's condition (or its init
+// statement's condition form) contains "guardExpr != nil" as a
+// conjunct-level phrase.
+func condMentionsNotNil(ifs *ast.IfStmt, guardExpr string) bool {
+	want := guardExpr + " != nil"
+	if strings.Contains(types.ExprString(ifs.Cond), want) {
+		return true
+	}
+	// "if x := recv(); x != nil" where the hook uses x: the direct
+	// comparison above already matches, since guardExpr is then "x".
+	return false
+}
+
+func condTextIs(cond ast.Expr, want string) bool {
+	return types.ExprString(cond) == want
+}
+
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+func hasGuardedDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, guardedDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDeterminism bans host entropy from guest-facing packages: no
+// math/rand import at all, and no wall-clock reads (time.Now/Since/
+// Until) even if the time package is otherwise imported for durations.
+func checkDeterminism(fset *token.FileSet, files []*ast.File, pkgPath string) []diagnostic {
+	if !guestFacing[pkgPath] {
+		return nil
+	}
+	var diags []diagnostic
+	for _, f := range files {
+		if strings.HasSuffix(fset.File(f.Pos()).Name(), "_test.go") {
+			continue
+		}
+		timeNames := map[string]bool{}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			switch p {
+			case "math/rand", "math/rand/v2":
+				diags = append(diags, diagnostic{
+					pos: imp.Pos(),
+					msg: "guest-facing package imports " + p +
+						"; derive randomness from seeded guest state (sched.DeriveSeed) instead",
+				})
+			case "time":
+				name := "time"
+				if imp.Name != nil {
+					name = imp.Name.Name
+				}
+				timeNames[name] = true
+			}
+		}
+		if len(timeNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[id.Name] {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+				diags = append(diags, diagnostic{
+					pos: call.Pos(),
+					msg: "wall-clock read (" + id.Name + "." + sel.Sel.Name +
+						") in guest-facing package breaks simulation determinism",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

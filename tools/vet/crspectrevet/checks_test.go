@@ -1,0 +1,237 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The fixture telemetry package: same import path and (not nil-safe)
+// Emit shape as the real one, so the type-directed matching is
+// exercised for real.
+const telemetryFixture = `package telemetry
+type Event struct{ Kind int }
+type Recorder struct{ n int }
+func (r *Recorder) Emit(ev Event) { r.n++ }
+`
+
+// fixtureImporter type-checks dependency fixtures from source.
+type fixtureImporter struct {
+	fset *token.FileSet
+	srcs map[string]string
+	pkgs map[string]*types.Package
+}
+
+func (m *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	src, ok := m.srcs[path]
+	if !ok {
+		return nil, fmt.Errorf("no fixture for %q", path)
+	}
+	f, err := parser.ParseFile(m.fset, path+"/fixture.go", src, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := types.Config{Importer: m}
+	p, err := cfg.Check(path, m.fset, []*ast.File{f}, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.pkgs[path] = p
+	return p, nil
+}
+
+// check parses and type-checks src as one file of pkgPath and runs both
+// passes over it.
+func check(t *testing.T, pkgPath, filename, src string) []diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := &fixtureImporter{
+		fset: fset,
+		srcs: map[string]string{recorderPath: telemetryFixture},
+		pkgs: map[string]*types.Package{},
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	cfg := types.Config{Importer: imp, Error: func(error) {}}
+	cfg.Check(pkgPath, fset, []*ast.File{f}, info)
+	diags := checkEmitGuards(fset, []*ast.File{f}, info, pkgPath)
+	return append(diags, checkDeterminism(fset, []*ast.File{f}, pkgPath)...)
+}
+
+func wantDiags(t *testing.T, diags []diagnostic, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d diagnostics, want %d: %+v", len(diags), len(substrs), diags)
+	}
+	for i, want := range substrs {
+		if !strings.Contains(diags[i].msg, want) {
+			t.Errorf("diag %d = %q, want substring %q", i, diags[i].msg, want)
+		}
+	}
+}
+
+const emitPrologue = `package p
+import telemetry "repro/internal/telemetry"
+`
+
+func TestEmitGuardEnclosingIf(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/p", "p.go", emitPrologue+`
+func f(rec *telemetry.Recorder) {
+	if rec != nil {
+		rec.Emit(telemetry.Event{})
+	}
+}
+`))
+}
+
+func TestEmitGuardConjunct(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/p", "p.go", emitPrologue+`
+type C struct{ tel *telemetry.Recorder; n int }
+func (c *C) f() {
+	if c.n > 4 && c.tel != nil {
+		c.tel.Emit(telemetry.Event{})
+	}
+}
+`))
+}
+
+func TestEmitGuardEarlyReturn(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/p", "p.go", emitPrologue+`
+func f(rec *telemetry.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Emit(telemetry.Event{})
+}
+`))
+}
+
+func TestEmitGuardInitAssign(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/p", "p.go", emitPrologue+`
+type C struct{ r *telemetry.Recorder }
+func (c *C) Telemetry() *telemetry.Recorder { return c.r }
+func f(c *C) {
+	if tel := c.Telemetry(); tel != nil {
+		tel.Emit(telemetry.Event{})
+	}
+}
+`))
+}
+
+func TestEmitUnguardedFlagged(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/p", "p.go", emitPrologue+`
+func f(rec *telemetry.Recorder) {
+	rec.Emit(telemetry.Event{})
+}
+`), "telemetry.Recorder.Emit call not nil-guarded")
+}
+
+func TestEmitWrongGuardFlagged(t *testing.T) {
+	// A nil check of a different expression does not count.
+	wantDiags(t, check(t, "repro/internal/p", "p.go", emitPrologue+`
+type C struct{ a, b *telemetry.Recorder }
+func (c *C) f() {
+	if c.a != nil {
+		c.b.Emit(telemetry.Event{})
+	}
+}
+`), "telemetry.Recorder.Emit call not nil-guarded")
+}
+
+func TestEmitDirectiveSuppresses(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/p", "p.go", emitPrologue+`
+// f is an outlined hook; callers guarantee rec != nil.
+//
+//crspectrevet:guarded
+func f(rec *telemetry.Recorder) {
+	rec.Emit(telemetry.Event{})
+}
+`))
+}
+
+func TestEmitOtherTypesIgnored(t *testing.T) {
+	// A method that happens to be called Emit on a non-Recorder type is
+	// out of scope.
+	wantDiags(t, check(t, "repro/internal/p", "p.go", `package p
+type Plan struct{}
+func (p *Plan) Emit(x int) {}
+func f(p *Plan) { p.Emit(1) }
+`))
+}
+
+func TestEmitTestFilesSkipped(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/p", "p_test.go", emitPrologue+`
+func f(rec *telemetry.Recorder) {
+	rec.Emit(telemetry.Event{})
+}
+`))
+}
+
+func TestEmitTelemetryPackageSkipped(t *testing.T) {
+	wantDiags(t, check(t, recorderPath, "extra.go", `package telemetry
+type Event2 struct{ Kind int }
+`))
+}
+
+func TestTelEmitGuarded(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/p", "p.go", emitPrologue+`
+type CPU struct{ tel *telemetry.Recorder }
+//crspectrevet:guarded
+func (c *CPU) telEmit(k int) { c.tel.Emit(telemetry.Event{Kind: k}) }
+func (c *CPU) step() {
+	if c.tel != nil {
+		c.telEmit(3)
+	}
+}
+`))
+}
+
+func TestTelEmitUnguardedFlagged(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/p", "p.go", emitPrologue+`
+type CPU struct{ tel *telemetry.Recorder }
+//crspectrevet:guarded
+func (c *CPU) telEmit(k int) { c.tel.Emit(telemetry.Event{Kind: k}) }
+func (c *CPU) step() {
+	c.telEmit(3)
+}
+`), "cpu telEmit call not nil-guarded")
+}
+
+func TestDeterminismRandImport(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/cpu", "x.go", `package cpu
+import "math/rand"
+var r = rand.Int
+`), "imports math/rand")
+}
+
+func TestDeterminismWallClock(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/cache", "x.go", `package cache
+import "time"
+func f() int64 { return time.Now().UnixNano() }
+`), "wall-clock read (time.Now)")
+}
+
+func TestDeterminismDurationsAllowed(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/isa", "x.go", `package isa
+import "time"
+const tick = 3 * time.Millisecond
+func f(d time.Duration) bool { return d > tick }
+`))
+}
+
+func TestDeterminismNonGuestPackageFree(t *testing.T) {
+	wantDiags(t, check(t, "repro/internal/progen", "x.go", `package progen
+import ("math/rand"; "time")
+func f() int64 { return rand.Int63() + time.Now().Unix() }
+`))
+}
