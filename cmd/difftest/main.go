@@ -63,6 +63,13 @@ var configRing = []struct {
 	{"gshare-prefetch", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, Predictor: "gshare", NextLinePrefetch: true}},
 	{"noisy", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, NoisePeriod: 50, NoiseSeed: 7}},
 	{"priv-flush", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, PrivilegedFlush: true}},
+	// Spectre-v2/v4 postures: the indirect-target and store-bypass
+	// speculation paths must also be architecturally invisible, both
+	// enabled and sealed.
+	{"retpoline", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, Retpoline: true}},
+	{"ssbd", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, DisableStoreBypass: true}},
+	{"tiny-btb", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, BTBEntries: 16, BTBTagBits: 1}},
+	{"fulltag-btb", cpu.Config{SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, BTBTagBits: -2}},
 }
 
 // shardResult is one program's outcome, aggregated into the run summary.
@@ -189,32 +196,42 @@ func reportDivergence(stdout io.Writer, reproPath string, r shardResult, maxInst
 	return fmt.Errorf("difftest: divergence on seed %d (config %s)", r.seed, r.config)
 }
 
-// runSelftest proves the harness end to end: it injects a silent
-// corruption modelling a broken memory fast path and requires the
-// lock-step comparison to catch it and the reporter to minimize it to a
-// short prefix. A harness that cannot fail is not a test harness.
+// runSelftest proves the harness end to end: it injects silent
+// corruptions modelling a broken memory fast path and a broken
+// store-bypass fast path, and requires the lock-step comparison to
+// catch each and the reporter to minimize it to a short prefix. A
+// harness that cannot fail is not a test harness.
 func runSelftest(stdout io.Writer) error {
-	p, pre, storeIdx, err := brokenFastPathScenario()
-	if err != nil {
-		return err
+	scenarios := []struct {
+		name  string
+		build func() (progen.Program, oracle.PreStep, int, error)
+	}{
+		{"write64", brokenFastPathScenario},
+		{"store-bypass", brokenStoreBypassScenario},
 	}
-	cfg := cpu.DefaultConfig()
-	res, err := oracle.RunProgram(p, cfg, 100_000, pre)
-	if err != nil {
-		return err
+	for _, sc := range scenarios {
+		p, pre, badIdx, err := sc.build()
+		if err != nil {
+			return err
+		}
+		cfg := cpu.DefaultConfig()
+		res, err := oracle.RunProgram(p, cfg, 100_000, pre)
+		if err != nil {
+			return err
+		}
+		if res.Clean() {
+			return fmt.Errorf("difftest: selftest %s: injected corruption was NOT detected", sc.name)
+		}
+		_, n, mres, ok := oracle.Minimize(p, cfg, 100_000, pre)
+		if !ok || mres.Clean() {
+			return fmt.Errorf("difftest: selftest %s: minimizer failed to reproduce the divergence", sc.name)
+		}
+		if n > 16 {
+			return fmt.Errorf("difftest: selftest %s: minimized to %d instructions, want <= 16", sc.name, n)
+		}
+		fmt.Fprintf(stdout, "selftest %s: corruption at instr %d caught (%d reasons) and minimized to %d instructions\n",
+			sc.name, badIdx, len(res.Div.Reasons), n)
 	}
-	if res.Clean() {
-		return errors.New("difftest: selftest: injected corruption was NOT detected")
-	}
-	_, n, mres, ok := oracle.Minimize(p, cfg, 100_000, pre)
-	if !ok || mres.Clean() {
-		return errors.New("difftest: selftest: minimizer failed to reproduce the divergence")
-	}
-	if n > 16 {
-		return fmt.Errorf("difftest: selftest: minimized to %d instructions, want <= 16", n)
-	}
-	fmt.Fprintf(stdout, "selftest: corruption at instr %d caught (%d reasons) and minimized to %d instructions\n",
-		storeIdx, len(res.Div.Reasons), n)
 	return nil
 }
 
@@ -247,4 +264,46 @@ func brokenFastPathScenario() (progen.Program, oracle.PreStep, int, error) {
 		}
 	}
 	return p, pre, storeIdx, nil
+}
+
+// brokenStoreBypassScenario arms the Spectre-v4 fast path — a byte
+// store whose data register is still in flight, immediately reloaded —
+// and a PreStep hook that, at the reloading instruction, writes the
+// stale pre-store byte back over the slot: the observable signature of
+// a bypass episode leaking its seeded stale value into architectural
+// state. The optimized core then reloads 0x55 where the oracle sees
+// the sanitized zero, and the lock-step comparison must catch the
+// register difference and minimize past the padding tail.
+func brokenStoreBypassScenario() (progen.Program, oracle.PreStep, int, error) {
+	const (
+		slot    = int64(progen.DataBase)         // bypassed slot
+		zeroSrc = int64(progen.DataBase) + 0x140 // flushed line: slow zero
+	)
+	instrs := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 10, Imm: slot},
+		{Op: isa.MOVI, Rd: 1, Imm: 0x55},
+		{Op: isa.STOREB, Rs1: 10, Rs2: 1}, // stale value underneath
+		{Op: isa.MFENCE},
+		{Op: isa.MOVI, Rd: 11, Imm: zeroSrc},
+		{Op: isa.CLFLUSH, Rs1: 11},
+		{Op: isa.MFENCE},
+		{Op: isa.LOAD, Rd: 2, Rs1: 11},    // slow zero, in flight
+		{Op: isa.STOREB, Rs1: 10, Rs2: 2}, // sanitizing store: bypassable
+	}
+	loadIdx := len(instrs)
+	instrs = append(instrs, isa.Instruction{Op: isa.LOADB, Rd: 3, Rs1: 10})
+	for i := 0; i < 48; i++ {
+		instrs = append(instrs, isa.Instruction{Op: isa.XOR, Rd: 4, Rs1: 4, Rs2: 3})
+	}
+	instrs = append(instrs, isa.Instruction{Op: isa.HALT})
+	p, err := progen.Craft(instrs, nil, false)
+	if err != nil {
+		return progen.Program{}, nil, 0, err
+	}
+	pre := func(step uint64, c *cpu.CPU, _ *oracle.Machine) {
+		if step == uint64(loadIdx) {
+			_ = c.Mem.LoadRaw(progen.DataBase, []byte{0x55})
+		}
+	}
+	return p, pre, loadIdx, nil
 }

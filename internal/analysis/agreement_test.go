@@ -13,10 +13,11 @@ const agreementBudget = 200_000
 // claim: over the labeled gadget corpus, the static analyzer's verdict,
 // the generator's ground-truth label, and the simulator's observed
 // cache state must all coincide — every statically flagged leak really
-// leaks with defenses off, and every fenced/sanitized/windowed variant
-// really does not. The corpus is >= 200 seeded programs (34 seeds x 6
-// kinds), checked in parallel through the sched pool so the run is also
-// race-exercised.
+// leaks with defenses off, and every mitigated variant really does
+// not. The corpus is >= 300 seeded programs (34 seeds x 12 kinds,
+// spanning the v1, v2-injection, and v4-store-bypass families plus
+// their mitigations), checked in parallel through the sched pool so
+// the run is also race-exercised.
 func TestStaticDynamicAgreement(t *testing.T) {
 	cfg := cpu.DefaultConfig()
 	seeds := 34
@@ -81,10 +82,14 @@ func TestAgreementVerdictShape(t *testing.T) {
 			t.Errorf("%s: no finding at the known access site %#x; findings: %+v", kind, meta.AccessPC, rep.Findings)
 		}
 	}
-	// The sanitized and resolved-bound variants must produce no access
-	// finding at the gadget at all: no taint reaches the index (resp. no
-	// window opens).
-	for _, kind := range []progen.GadgetKind{progen.GadgetSanitized, progen.GadgetResolvedBound} {
+	// The sanitized, resolved-bound, masked, SLH-hardened, and fenced
+	// store-bypass variants must produce no leak finding at the gadget
+	// at all: no attacker taint reaches the access (resp. no window
+	// opens, resp. the bypass window is drained).
+	for _, kind := range []progen.GadgetKind{
+		progen.GadgetSanitized, progen.GadgetResolvedBound,
+		progen.GadgetMaskedIndex, progen.GadgetSLH, progen.GadgetSSBFenced,
+	} {
 		p, meta := progen.GenerateGadget(7, kind)
 		rep := AnalyzeGadget(p, meta)
 		for _, f := range rep.Findings {
@@ -95,6 +100,71 @@ func TestAgreementVerdictShape(t *testing.T) {
 		if dyn, err := LeaksDynamically(p, meta, cpu.DefaultConfig(), agreementBudget); err != nil || dyn {
 			t.Errorf("%s: dynamic leak=%v err=%v, want no leak", kind, dyn, err)
 		}
+	}
+}
+
+// TestAgreementV2V4FindingShape pins the new finding kinds: the
+// v2-injection program is flagged at its indirect call site with
+// FindingKindV2 (the gadget body is statically unreachable — the BTB,
+// not the CFG, steers execution there), and the store-bypass program
+// carries a FindingKindV4 leak spanning the sanitizing store, the
+// bypassing load, and the probe transmit. The retpolined dispatch must
+// carry no v2 finding at all.
+func TestAgreementV2V4FindingShape(t *testing.T) {
+	p, meta := progen.GenerateGadget(7, progen.GadgetV2Inject)
+	rep := AnalyzeGadget(p, meta)
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == FindingKindV2 {
+			found = true
+			if f.GuardPC != meta.GuardPC || f.AccessPC != meta.GuardPC {
+				t.Errorf("v2 finding at %#x/%#x, want the indirect call at %#x",
+					f.GuardPC, f.AccessPC, meta.GuardPC)
+			}
+			if f.Verdict != VerdictLeak {
+				t.Errorf("v2 finding verdict = %s, want leak", f.Verdict)
+			}
+		}
+		if f.AccessPC == meta.AccessPC && f.Kind == "" {
+			t.Errorf("gadget body at %#x reached by the v1 pass — it should be statically unreachable", f.AccessPC)
+		}
+	}
+	if !found {
+		t.Errorf("v2-inject: no %s finding; findings: %+v", FindingKindV2, rep.Findings)
+	}
+
+	p, meta = progen.GenerateGadget(7, progen.GadgetV2Retpoline)
+	rep = AnalyzeGadget(p, meta)
+	for _, f := range rep.Findings {
+		if f.Kind == FindingKindV2 {
+			t.Errorf("retpolined dispatch still carries a v2 finding at %#x", f.GuardPC)
+		}
+	}
+
+	p, meta = progen.GenerateGadget(7, progen.GadgetSSB)
+	rep = AnalyzeGadget(p, meta)
+	found = false
+	for _, f := range rep.Findings {
+		if f.Kind != FindingKindV4 {
+			continue
+		}
+		found = true
+		if f.GuardPC != meta.GuardPC {
+			t.Errorf("v4 guard = %#x, want the sanitizing store at %#x", f.GuardPC, meta.GuardPC)
+		}
+		if f.AccessPC != meta.AccessPC || f.TransmitPC != meta.TransmitPC {
+			t.Errorf("v4 access/transmit = %#x/%#x, want %#x/%#x",
+				f.AccessPC, f.TransmitPC, meta.AccessPC, meta.TransmitPC)
+		}
+		if f.Verdict != VerdictLeak {
+			t.Errorf("v4 verdict = %s, want leak", f.Verdict)
+		}
+		if len(f.Witness) == 0 {
+			t.Error("v4 leak finding carries no witness path")
+		}
+	}
+	if !found {
+		t.Errorf("ssb: no %s finding; findings: %+v", FindingKindV4, rep.Findings)
 	}
 }
 

@@ -117,10 +117,10 @@ func TestRecoverCFGCallAndIndirect(t *testing.T) {
 // invalid, never followed.
 func TestRecoverCFGInvalidTargets(t *testing.T) {
 	code := enc(t,
-		isa.Instruction{Op: isa.JE, Imm: int64(at(1) + 8)},     // mid-instruction
-		isa.Instruction{Op: isa.JNE, Imm: int64(at(100))},      // past the image
-		isa.Instruction{Op: isa.JMP, Imm: int64(at(3))},        // into a junk slot
-		isa.Instruction{Op: isa.NOP},                           // corrupted below
+		isa.Instruction{Op: isa.JE, Imm: int64(at(1) + 8)}, // mid-instruction
+		isa.Instruction{Op: isa.JNE, Imm: int64(at(100))},  // past the image
+		isa.Instruction{Op: isa.JMP, Imm: int64(at(3))},    // into a junk slot
+		isa.Instruction{Op: isa.NOP},                       // corrupted below
 		isa.Instruction{Op: isa.HALT},
 	)
 	code[3*isa.InstrSize] = 0xFF // junk opcode in slot 3

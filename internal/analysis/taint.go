@@ -82,10 +82,29 @@ const (
 	VerdictNoTransmit Verdict = "no-transmit"
 )
 
-// Finding is one flagged Spectre-v1 gadget: the guarding conditional
-// branch, the speculative attacker-addressed load, and (for leaks) the
-// dependent transmitting load plus a witness path through the CFG.
+// Finding kinds: which speculation primitive the flagged site abuses.
+// The zero value (v1, the bounds-check gadget) is omitted from JSON so
+// existing artifacts are unchanged.
+const (
+	// FindingKindV2 marks an indirect branch whose target register may
+	// still be in flight when the branch predicts — the BTB (not the
+	// program) chooses the transient continuation, so an attacker who
+	// can cross-train the entry runs arbitrary reachable code
+	// speculatively. Reported as a leak at the branch site itself.
+	FindingKindV2 = "v2-indirect"
+	// FindingKindV4 marks a load that may speculatively bypass an
+	// earlier store whose data was still in flight, transiently reading
+	// the stale value underneath an attacker-addressed slot.
+	FindingKindV4 = "v4-store-bypass"
+)
+
+// Finding is one flagged Spectre gadget: the guarding site (the
+// conditional branch for v1, the bypassed store for v4, the indirect
+// branch itself for v2), the speculative attacker-addressed load, and
+// (for leaks) the dependent transmitting load plus a witness path
+// through the CFG.
 type Finding struct {
+	Kind       string   `json:"kind,omitempty"` // "" (v1), FindingKindV2, FindingKindV4
 	GuardPC    uint64   `json:"guard_pc"`
 	AccessPC   uint64   `json:"access_pc"`
 	TransmitPC uint64   `json:"transmit_pc,omitempty"`
@@ -108,6 +127,18 @@ type regState struct {
 	// window); guard is the branch that opened it.
 	win   int
 	guard uint64
+	// ssbWin is the store-bypass window: opened by a store over an
+	// attacker-addressed slot whose data is still in flight (the
+	// sanitizing store a v4 load may speculatively ignore); ssbStore is
+	// the store that opened it.
+	ssbWin   int
+	ssbStore uint64
+	// maskSeed/maskVal track the SLH idiom per register: maskSeed marks
+	// a near-full-width right shift (the 0/1 sign extract), maskVal the
+	// 0/-1 mask materialized from it. An AND with a maskVal register
+	// clamps the value on the mispredicted path, clearing A taint.
+	maskSeed uint16
+	maskVal  uint16
 	// flagsInflight: the last CMP consumed a possibly in-flight value.
 	flagsInflight bool
 	live          bool
@@ -166,6 +197,19 @@ func (s *regState) join(o regState) bool {
 		s.guard = o.guard
 		changed = true
 	}
+	if o.ssbWin > s.ssbWin {
+		s.ssbWin = o.ssbWin
+		s.ssbStore = o.ssbStore
+		changed = true
+	}
+	if ms := s.maskSeed | o.maskSeed; ms != s.maskSeed {
+		s.maskSeed = ms
+		changed = true
+	}
+	if mv := s.maskVal | o.maskVal; mv != s.maskVal {
+		s.maskVal = mv
+		changed = true
+	}
 	if o.flagsInflight && !s.flagsInflight {
 		s.flagsInflight = true
 		changed = true
@@ -183,8 +227,14 @@ type taintPass struct {
 	in  map[uint64]regState // block start -> joined entry state
 	// accesses: (guard PC, access PC) pairs observed in-window.
 	accesses map[sitePair]bool
+	// ssbAccesses: (store PC, access PC) pairs observed inside a
+	// store-bypass window — the v4 counterpart of accesses.
+	ssbAccesses map[sitePair]bool
 	// transmits: (access PC, transmit PC) pairs observed in-window.
 	transmits map[sitePair]bool
+	// indirects: CALLR/JMPR sites whose target may be in flight when
+	// the branch predicts — the Spectre-v2 injection surface.
+	indirects map[uint64]bool
 }
 
 // visitBudget caps total block visits; the lattice guarantees
@@ -193,11 +243,13 @@ const visitBudget = 1 << 16
 
 func runTaint(g *CFG, cfg Config) *taintPass {
 	p := &taintPass{
-		g:         g,
-		cfg:       cfg,
-		in:        map[uint64]regState{},
-		accesses:  map[sitePair]bool{},
-		transmits: map[sitePair]bool{},
+		g:           g,
+		cfg:         cfg,
+		in:          map[uint64]regState{},
+		accesses:    map[sitePair]bool{},
+		ssbAccesses: map[sitePair]bool{},
+		transmits:   map[sitePair]bool{},
+		indirects:   map[uint64]bool{},
 	}
 	entry := regState{live: true}
 	for _, r := range cfg.TaintedRegs {
@@ -268,14 +320,22 @@ func (p *taintPass) flowBlock(b *Block) map[uint64]regState {
 	return nil
 }
 
-// tick consumes one instruction slot of the open window, clearing
-// transient taint when the window expires.
+// tick consumes one instruction slot of the open windows, clearing
+// transient taint when the last one expires.
 func (p *taintPass) tick(s *regState) {
+	closed := false
 	if s.win > 0 {
-		s.win--
-		if s.win == 0 {
-			s.clearS()
+		if s.win--; s.win == 0 {
+			closed = true
 		}
+	}
+	if s.ssbWin > 0 {
+		if s.ssbWin--; s.ssbWin == 0 {
+			closed = true
+		}
+	}
+	if closed && s.win == 0 && s.ssbWin == 0 {
+		s.clearS()
 	}
 }
 
@@ -285,27 +345,77 @@ func (p *taintPass) tick(s *regState) {
 // matching the core, which executes exactly SpecWindow wrong-path
 // instructions before the squash.
 func (p *taintPass) step(s *regState, pc uint64, in isa.Instruction) {
-	spec := s.win > 0
+	spec := s.win > 0 || s.ssbWin > 0
+	rd := uint16(1) << in.Rd
 	defer p.tick(s)
 	switch op := in.Op; {
 	case op == isa.MOVI || op == isa.RDTSC:
 		s.taint[in.Rd] = 0
 		s.site[in.Rd] = 0
+		s.maskSeed &^= rd
+		s.maskVal &^= rd
 		s.setInflight(in.Rd, false)
 
 	case op == isa.MOV:
 		s.taint[in.Rd] = s.taint[in.Rs1]
 		s.site[in.Rd] = s.site[in.Rs1]
+		s.maskSeed = s.maskSeed&^rd | s.maskSeed>>in.Rs1&1<<in.Rd
+		s.maskVal = s.maskVal&^rd | s.maskVal>>in.Rs1&1<<in.Rd
 		s.setInflight(in.Rd, s.isInflight(in.Rs1))
 
 	case op >= isa.ADD && op <= isa.SAR:
-		s.taint[in.Rd] = s.taint[in.Rs1] | s.taint[in.Rs2]
-		s.site[in.Rd] = firstSite(s.site[in.Rs1], s.site[in.Rs2])
+		switch {
+		case op == isa.SUB && s.maskSeed&(1<<in.Rs2) != 0:
+			// 0 - seed materializes the SLH all-ones/all-zero mask.
+			s.taint[in.Rd] = 0
+			s.site[in.Rd] = 0
+			s.maskSeed &^= rd
+			s.maskVal |= rd
+		case op == isa.AND && (s.maskVal&(1<<in.Rs1) != 0 || s.maskVal&(1<<in.Rs2) != 0):
+			// SLH: AND with the comparison-derived mask zeroes the value
+			// on the mispredicted path — no longer attacker-steerable.
+			s.taint[in.Rd] = (s.taint[in.Rs1] | s.taint[in.Rs2]) &^ taintA
+			if s.taint[in.Rd]&taintS != 0 {
+				s.site[in.Rd] = firstSite(s.site[in.Rs1], s.site[in.Rs2])
+			} else {
+				s.site[in.Rd] = 0
+			}
+			s.maskSeed &^= rd
+			s.maskVal &^= rd
+		default:
+			s.taint[in.Rd] = s.taint[in.Rs1] | s.taint[in.Rs2]
+			s.site[in.Rd] = firstSite(s.site[in.Rs1], s.site[in.Rs2])
+			s.maskSeed &^= rd
+			s.maskVal &^= rd
+		}
 		s.setInflight(in.Rd, s.isInflight(in.Rs1) || s.isInflight(in.Rs2))
 
 	case op >= isa.ADDI && op <= isa.SHRI:
-		s.taint[in.Rd] = s.taint[in.Rs1]
-		s.site[in.Rd] = s.site[in.Rs1]
+		switch {
+		case op == isa.SHRI && in.Imm >= 57:
+			// A near-full-width right shift leaves only the sign bits:
+			// the SLH mask seed (0 or 1), not attacker-steerable data.
+			s.taint[in.Rd] = 0
+			s.site[in.Rd] = 0
+			s.maskVal &^= rd
+			s.maskSeed |= rd
+		case op == isa.ANDI && in.Imm >= 0 && in.Imm < 0x1000 && (in.Imm+1)&in.Imm == 0:
+			// Index masking: a small contiguous mask clamps the value
+			// into a fixed in-bounds window, clearing attacker control.
+			s.taint[in.Rd] = s.taint[in.Rs1] &^ taintA
+			if s.taint[in.Rd]&taintS != 0 {
+				s.site[in.Rd] = s.site[in.Rs1]
+			} else {
+				s.site[in.Rd] = 0
+			}
+			s.maskSeed &^= rd
+			s.maskVal &^= rd
+		default:
+			s.taint[in.Rd] = s.taint[in.Rs1]
+			s.site[in.Rd] = s.site[in.Rs1]
+			s.maskSeed &^= rd
+			s.maskVal &^= rd
+		}
 		s.setInflight(in.Rd, s.isInflight(in.Rs1))
 
 	case op == isa.LOAD || op == isa.LOADB:
@@ -313,8 +423,13 @@ func (p *taintPass) step(s *regState, pc uint64, in isa.Instruction) {
 		if spec && at&taintS != 0 {
 			p.transmits[sitePair{s.site[in.Rs1], pc}] = true
 		}
-		if spec && at&taintA != 0 {
+		if s.win > 0 && at&taintA != 0 {
 			p.accesses[sitePair{s.guard, pc}] = true
+		}
+		if s.ssbWin > 0 && at&taintA != 0 {
+			// Inside a store-bypass window, an attacker-addressed load
+			// may transiently read the stale byte under the slot.
+			p.ssbAccesses[sitePair{s.ssbStore, pc}] = true
 		}
 		if spec && at != 0 {
 			// The loaded value is a transient secret; keep provenance
@@ -329,12 +444,32 @@ func (p *taintPass) step(s *regState, pc uint64, in isa.Instruction) {
 			s.taint[in.Rd] = 0
 			s.site[in.Rd] = 0
 		}
+		s.maskSeed &^= rd
+		s.maskVal &^= rd
 		s.setInflight(in.Rd, true)
 
 	case op == isa.POP:
 		s.taint[in.Rd] = 0
 		s.site[in.Rd] = 0
+		s.maskSeed &^= rd
+		s.maskVal &^= rd
 		s.setInflight(in.Rd, true)
+
+	case op == isa.STORE || op == isa.STOREB:
+		if s.taint[in.Rs1]&taintA != 0 && s.isInflight(in.Rs2) {
+			// A sanitizing store over an attacker-addressed slot whose
+			// data is still in flight: until it resolves, younger loads
+			// may speculatively bypass it (Spectre-v4).
+			s.ssbWin = p.cfg.SpecWindow
+			s.ssbStore = pc
+		}
+
+	case op == isa.CALLR || op == isa.JMPR:
+		if s.isInflight(in.Rs1) {
+			// The branch may predict before its target resolves — the
+			// BTB picks the transient continuation (Spectre-v2).
+			p.indirects[pc] = true
+		}
 
 	case op == isa.CMP:
 		s.flagsInflight = s.isInflight(in.Rs1) || s.isInflight(in.Rs2)
@@ -343,16 +478,17 @@ func (p *taintPass) step(s *regState, pc uint64, in isa.Instruction) {
 		s.flagsInflight = s.isInflight(in.Rs1)
 
 	case op == isa.MFENCE || op == isa.LFENCE || op == isa.SYSCALL || op == isa.HALT:
-		// Speculation barriers: close the window, squash transient
-		// values, and treat every pending load as drained.
+		// Speculation barriers: close the windows, squash transient
+		// values, and treat every pending load and store as drained.
 		s.win = 0
+		s.ssbWin = 0
 		s.clearS()
 		s.inflight = 0
 		s.flagsInflight = false
 
 	default:
-		// NOP, stores, PUSH, CLFLUSH, control transfers handled by the
-		// CFG edges: no register effects in the abstract domain.
+		// NOP, PUSH, CLFLUSH, control transfers handled by the CFG
+		// edges: no register effects in the abstract domain.
 	}
 }
 
@@ -371,16 +507,25 @@ func firstSite(a, b uint64) uint64 {
 
 // findings assembles classified findings from the collected site pairs.
 func (p *taintPass) findings() []Finding {
-	type accessKey struct{ guard, access uint64 }
+	type accessKey struct {
+		guard, access uint64
+		kind          string
+	}
 	var keys []accessKey
 	for k := range p.accesses {
-		keys = append(keys, accessKey{k[0], k[1]})
+		keys = append(keys, accessKey{k[0], k[1], ""})
+	}
+	for k := range p.ssbAccesses {
+		keys = append(keys, accessKey{k[0], k[1], FindingKindV4})
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].guard != keys[j].guard {
 			return keys[i].guard < keys[j].guard
 		}
-		return keys[i].access < keys[j].access
+		if keys[i].access != keys[j].access {
+			return keys[i].access < keys[j].access
+		}
+		return keys[i].kind < keys[j].kind
 	})
 	var out []Finding
 	limit := p.cfg.SpecWindow + 2
@@ -394,7 +539,7 @@ func (p *taintPass) findings() []Finding {
 		sort.Slice(txs, func(i, j int) bool { return txs[i] < txs[j] })
 		if len(txs) > 0 {
 			for _, tx := range txs {
-				f := Finding{GuardPC: k.guard, AccessPC: k.access, TransmitPC: tx, Verdict: VerdictLeak}
+				f := Finding{Kind: k.kind, GuardPC: k.guard, AccessPC: k.access, TransmitPC: tx, Verdict: VerdictLeak}
 				if w1 := p.g.path(k.guard, k.access, limit); w1 != nil {
 					if w2 := p.g.path(k.access, tx, limit); w2 != nil {
 						f.Witness = append(w1, w2[1:]...)
@@ -408,7 +553,19 @@ func (p *taintPass) findings() []Finding {
 		if p.transmitIgnoringFences(k.access) {
 			v = VerdictMitigated
 		}
-		out = append(out, Finding{GuardPC: k.guard, AccessPC: k.access, Verdict: v})
+		out = append(out, Finding{Kind: k.kind, GuardPC: k.guard, AccessPC: k.access, Verdict: v})
+	}
+	// Every in-flight-target indirect branch is a v2 injection surface
+	// in its own right: the leak body lives wherever the attacker
+	// trains the BTB to point, so the site is reported as a leak with
+	// no separate access/transmit.
+	var ipcs []uint64
+	for pc := range p.indirects {
+		ipcs = append(ipcs, pc)
+	}
+	sort.Slice(ipcs, func(i, j int) bool { return ipcs[i] < ipcs[j] })
+	for _, pc := range ipcs {
+		out = append(out, Finding{Kind: FindingKindV2, GuardPC: pc, AccessPC: pc, Verdict: VerdictLeak})
 	}
 	return out
 }

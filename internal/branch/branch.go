@@ -102,32 +102,94 @@ func (g *Gshare) Update(pc uint64, taken bool) {
 }
 
 // BTB is a direct-mapped branch target buffer for indirect branches.
+// Entries are tagged; with the full PC as tag two distinct branch sites
+// can never share an entry, while a *partial* tag — what real parts use,
+// and what NewBTBTagged builds — lets congruent sites alias. That
+// aliasing is the mechanism of Spectre-v2 cross-training: an attacker
+// trains a branch whose (index, tag) pair collides with the victim's
+// site, injecting an arbitrary speculative target into it.
 type BTB struct {
 	tags    []uint64
 	targets []uint64
 	valid   []bool
 	mask    uint64
+	// Partial-tag geometry: tag = (pc >> tagShift) & tagMask, with
+	// fullTag selecting the exact-PC tag instead (no aliasing).
+	tagShift uint
+	tagMask  uint64
+	fullTag  bool
 }
 
-// NewBTB builds a BTB with the given number of entries (power of two).
+// Default tagged-BTB geometry used by NewUnit: 512 entries with 2-bit
+// partial tags, so sites whose PCs differ by exactly AliasStride bytes
+// (or a multiple) collide on both index and tag.
+const (
+	DefaultBTBEntries = 512
+	DefaultBTBTagBits = 2
+)
+
+// AliasStride returns the PC distance at which two branch sites are
+// guaranteed congruent in a tagged BTB of the given geometry: one full
+// wrap of the index (entries × the 16-byte instruction slot) times the
+// tag space. Sites a multiple of this apart share index and tag.
+func AliasStride(entries, tagBits int) uint64 {
+	return (16 * uint64(entries)) << tagBits
+}
+
+// DefaultAliasStride is AliasStride for the NewUnit geometry.
+var DefaultAliasStride = AliasStride(DefaultBTBEntries, DefaultBTBTagBits)
+
+// NewBTB builds a full-tag BTB with the given number of entries (power
+// of two): conflict misses exist, cross-training does not.
 func NewBTB(entries int) *BTB {
+	b := NewBTBTagged(entries, 0)
+	b.fullTag = true
+	return b
+}
+
+// NewBTBTagged builds a BTB with partial tags of the given width.
+// tagBits 0 means index-only matching (any site with the same index
+// aliases — the early-hardware model Spectre v2 originally exploited).
+func NewBTBTagged(entries, tagBits int) *BTB {
 	if entries <= 0 || entries&(entries-1) != 0 {
 		panic("branch: BTB entries must be a positive power of two")
 	}
+	if tagBits < 0 || tagBits > 56 {
+		panic("branch: BTB tag bits out of range")
+	}
+	indexBits := uint(0)
+	for 1<<indexBits < entries {
+		indexBits++
+	}
 	return &BTB{
-		tags:    make([]uint64, entries),
-		targets: make([]uint64, entries),
-		valid:   make([]bool, entries),
-		mask:    uint64(entries - 1),
+		tags:     make([]uint64, entries),
+		targets:  make([]uint64, entries),
+		valid:    make([]bool, entries),
+		mask:     uint64(entries - 1),
+		tagShift: 4 + indexBits,
+		tagMask:  1<<uint(tagBits) - 1,
 	}
 }
 
 func (b *BTB) index(pc uint64) uint64 { return (pc >> 4) & b.mask }
 
+func (b *BTB) tag(pc uint64) uint64 {
+	if b.fullTag {
+		return pc
+	}
+	return (pc >> b.tagShift) & b.tagMask
+}
+
+// Aliases reports whether two branch sites share a BTB entry: training
+// either one injects its target into the other's prediction.
+func (b *BTB) Aliases(pc1, pc2 uint64) bool {
+	return b.index(pc1) == b.index(pc2) && b.tag(pc1) == b.tag(pc2)
+}
+
 // Predict returns the predicted target for the indirect branch at pc.
 func (b *BTB) Predict(pc uint64) (target uint64, ok bool) {
 	i := b.index(pc)
-	if b.valid[i] && b.tags[i] == pc {
+	if b.valid[i] && b.tags[i] == b.tag(pc) {
 		return b.targets[i], true
 	}
 	return 0, false
@@ -136,7 +198,7 @@ func (b *BTB) Predict(pc uint64) (target uint64, ok bool) {
 // Update records the resolved target of the indirect branch at pc.
 func (b *BTB) Update(pc, target uint64) {
 	i := b.index(pc)
-	b.tags[i], b.targets[i], b.valid[i] = pc, target, true
+	b.tags[i], b.targets[i], b.valid[i] = b.tag(pc), target, true
 }
 
 // RSB is a fixed-depth return stack buffer. CALL pushes the return
@@ -215,14 +277,15 @@ type Unit struct {
 }
 
 // NewUnit builds a default-sized prediction unit: 4096-entry PHT,
-// 512-entry BTB, 16-deep RSB.
+// tagged 512-entry BTB (2-bit partial tags — cross-trainable), 16-deep
+// RSB.
 func NewUnit() *Unit {
-	return &Unit{Cond: NewPHT(4096), BTB: NewBTB(512), RSB: NewRSB(16)}
+	return &Unit{Cond: NewPHT(4096), BTB: NewBTBTagged(DefaultBTBEntries, DefaultBTBTagBits), RSB: NewRSB(16)}
 }
 
 // NewGshareUnit builds a unit with a gshare conditional predictor.
 func NewGshareUnit() *Unit {
-	return &Unit{Cond: NewGshare(4096, 12), BTB: NewBTB(512), RSB: NewRSB(16)}
+	return &Unit{Cond: NewGshare(4096, 12), BTB: NewBTBTagged(DefaultBTBEntries, DefaultBTBTagBits), RSB: NewRSB(16)}
 }
 
 // ResetStats zeroes the unit's counters without losing training state.

@@ -65,6 +65,24 @@ type Config struct {
 	Predictor string
 	// NextLinePrefetch enables the hierarchy's sequential prefetcher.
 	NextLinePrefetch bool
+	// BTBEntries / BTBTagBits override the branch target buffer geometry
+	// (0 = the branch package defaults: 512 entries, 2-bit partial tags).
+	// Smaller tables and narrower tags make cross-site aliasing — the
+	// Spectre-v2 injection surface — more frequent. BTBTagBits > 0 sets
+	// the partial-tag width, -1 selects index-only matching (tagless,
+	// maximal aliasing), -2 selects full-PC tags (no aliasing possible).
+	BTBEntries int
+	BTBTagBits int
+	// Retpoline models a retpoline-compiled workload at the core level:
+	// unresolved indirect branches never speculate at a BTB-predicted
+	// target (retired or inside an episode) — the thunk's capture loop
+	// pins the transient path to a harmless spin. Timing-only; the BTB
+	// still trains for the counters.
+	Retpoline bool
+	// DisableStoreBypass models SSBD (speculative store bypass disable):
+	// retired loads never speculatively ignore a pending store whose
+	// data is still in flight, closing the Spectre-v4 window.
+	DisableStoreBypass bool
 }
 
 // DefaultConfig returns the baseline core configuration used by the
@@ -156,6 +174,15 @@ type CPU struct {
 	// KindStackSmash. All zero when unset.
 	probeLo, probeHi uint64
 	smashLo, smashHi uint64
+
+	// Speculative-store-bypass state (Spectre v4, see ssb.go): stores
+	// whose data register was still in flight at retire, against which a
+	// younger load may speculatively read the stale memory contents. At
+	// the very end of the struct for the same reason as the telemetry
+	// fields: no pre-existing field moves.
+	pendingStores []pendingStore
+	bypasses      uint64 // store-bypass wrong-path episodes launched
+	indirectSpecs uint64 // episodes launched at a BTB-predicted target
 }
 
 // New builds a core over the given memory with a default cache hierarchy
@@ -164,6 +191,22 @@ func New(m *mem.Memory, cfg Config) *CPU {
 	bp := branch.NewUnit()
 	if cfg.Predictor == "gshare" {
 		bp = branch.NewGshareUnit()
+	}
+	if cfg.BTBEntries != 0 || cfg.BTBTagBits != 0 {
+		entries := cfg.BTBEntries
+		if entries == 0 {
+			entries = branch.DefaultBTBEntries
+		}
+		switch tagBits := cfg.BTBTagBits; {
+		case tagBits <= -2:
+			bp.BTB = branch.NewBTB(entries)
+		case tagBits == -1:
+			bp.BTB = branch.NewBTBTagged(entries, 0)
+		case tagBits == 0:
+			bp.BTB = branch.NewBTBTagged(entries, branch.DefaultBTBTagBits)
+		default:
+			bp.BTB = branch.NewBTBTagged(entries, tagBits)
+		}
 	}
 	caches := cache.DefaultHierarchy()
 	caches.NextLinePrefetch = cfg.NextLinePrefetch
@@ -301,6 +344,12 @@ type Snapshot struct {
 	SpecInstructions uint64
 	SpecLoads        uint64
 	Squashes         uint64
+	// SpecBypasses counts Spectre-v4 store-bypass episodes: a retired
+	// load speculatively ignored a pending store with in-flight data.
+	SpecBypasses uint64
+	// IndirectSpecTargets counts wrong-path episodes entered at a
+	// BTB-predicted target — the Spectre-v2 injection fingerprint.
+	IndirectSpecTargets uint64
 
 	Flushes     uint64 // CLFLUSH instructions retired
 	Fences      uint64 // MFENCE/LFENCE instructions retired
@@ -314,32 +363,34 @@ func (c *CPU) Snapshot() Snapshot {
 	l2 := c.Caches.L2.Stats()
 	bs := c.BP.Stats
 	return Snapshot{
-		Cycles:           c.Cycle,
-		Instructions:     c.instret,
-		Loads:            c.loads,
-		Stores:           c.stores,
-		L1Accesses:       l1.Accesses,
-		L1Misses:         l1.Misses,
-		L1Evicts:         l1.Evicts,
-		L1Flushes:        l1.Flushes,
-		L2Accesses:       l2.Accesses,
-		L2Misses:         l2.Misses,
-		L2Evicts:         l2.Evicts,
-		L2Flushes:        l2.Flushes,
-		CondBranches:     bs.CondBranches,
-		CondMispred:      bs.CondMispred,
-		Returns:          bs.Returns,
-		ReturnMispred:    bs.ReturnMispred,
-		Indirect:         bs.Indirect,
-		IndirectMiss:     bs.IndirectMiss,
-		Direct:           bs.Direct,
-		SpecInstructions: c.specInstr,
-		SpecLoads:        c.specLoads,
-		Squashes:         c.squashes,
-		Flushes:          c.flushes,
-		Fences:           c.fences,
-		Syscalls:         c.syscalls,
-		StallCycles:      c.stallCycles,
+		Cycles:              c.Cycle,
+		Instructions:        c.instret,
+		Loads:               c.loads,
+		Stores:              c.stores,
+		L1Accesses:          l1.Accesses,
+		L1Misses:            l1.Misses,
+		L1Evicts:            l1.Evicts,
+		L1Flushes:           l1.Flushes,
+		L2Accesses:          l2.Accesses,
+		L2Misses:            l2.Misses,
+		L2Evicts:            l2.Evicts,
+		L2Flushes:           l2.Flushes,
+		CondBranches:        bs.CondBranches,
+		CondMispred:         bs.CondMispred,
+		Returns:             bs.Returns,
+		ReturnMispred:       bs.ReturnMispred,
+		Indirect:            bs.Indirect,
+		IndirectMiss:        bs.IndirectMiss,
+		Direct:              bs.Direct,
+		SpecInstructions:    c.specInstr,
+		SpecLoads:           c.specLoads,
+		Squashes:            c.squashes,
+		SpecBypasses:        c.bypasses,
+		IndirectSpecTargets: c.indirectSpecs,
+		Flushes:             c.flushes,
+		Fences:              c.fences,
+		Syscalls:            c.syscalls,
+		StallCycles:         c.stallCycles,
 	}
 }
 
@@ -347,32 +398,34 @@ func (c *CPU) Snapshot() Snapshot {
 // sampling interval).
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return Snapshot{
-		Cycles:           s.Cycles - prev.Cycles,
-		Instructions:     s.Instructions - prev.Instructions,
-		Loads:            s.Loads - prev.Loads,
-		Stores:           s.Stores - prev.Stores,
-		L1Accesses:       s.L1Accesses - prev.L1Accesses,
-		L1Misses:         s.L1Misses - prev.L1Misses,
-		L1Evicts:         s.L1Evicts - prev.L1Evicts,
-		L1Flushes:        s.L1Flushes - prev.L1Flushes,
-		L2Accesses:       s.L2Accesses - prev.L2Accesses,
-		L2Misses:         s.L2Misses - prev.L2Misses,
-		L2Evicts:         s.L2Evicts - prev.L2Evicts,
-		L2Flushes:        s.L2Flushes - prev.L2Flushes,
-		CondBranches:     s.CondBranches - prev.CondBranches,
-		CondMispred:      s.CondMispred - prev.CondMispred,
-		Returns:          s.Returns - prev.Returns,
-		ReturnMispred:    s.ReturnMispred - prev.ReturnMispred,
-		Indirect:         s.Indirect - prev.Indirect,
-		IndirectMiss:     s.IndirectMiss - prev.IndirectMiss,
-		Direct:           s.Direct - prev.Direct,
-		SpecInstructions: s.SpecInstructions - prev.SpecInstructions,
-		SpecLoads:        s.SpecLoads - prev.SpecLoads,
-		Squashes:         s.Squashes - prev.Squashes,
-		Flushes:          s.Flushes - prev.Flushes,
-		Fences:           s.Fences - prev.Fences,
-		Syscalls:         s.Syscalls - prev.Syscalls,
-		StallCycles:      s.StallCycles - prev.StallCycles,
+		Cycles:              s.Cycles - prev.Cycles,
+		Instructions:        s.Instructions - prev.Instructions,
+		Loads:               s.Loads - prev.Loads,
+		Stores:              s.Stores - prev.Stores,
+		L1Accesses:          s.L1Accesses - prev.L1Accesses,
+		L1Misses:            s.L1Misses - prev.L1Misses,
+		L1Evicts:            s.L1Evicts - prev.L1Evicts,
+		L1Flushes:           s.L1Flushes - prev.L1Flushes,
+		L2Accesses:          s.L2Accesses - prev.L2Accesses,
+		L2Misses:            s.L2Misses - prev.L2Misses,
+		L2Evicts:            s.L2Evicts - prev.L2Evicts,
+		L2Flushes:           s.L2Flushes - prev.L2Flushes,
+		CondBranches:        s.CondBranches - prev.CondBranches,
+		CondMispred:         s.CondMispred - prev.CondMispred,
+		Returns:             s.Returns - prev.Returns,
+		ReturnMispred:       s.ReturnMispred - prev.ReturnMispred,
+		Indirect:            s.Indirect - prev.Indirect,
+		IndirectMiss:        s.IndirectMiss - prev.IndirectMiss,
+		Direct:              s.Direct - prev.Direct,
+		SpecInstructions:    s.SpecInstructions - prev.SpecInstructions,
+		SpecLoads:           s.SpecLoads - prev.SpecLoads,
+		Squashes:            s.Squashes - prev.Squashes,
+		SpecBypasses:        s.SpecBypasses - prev.SpecBypasses,
+		IndirectSpecTargets: s.IndirectSpecTargets - prev.IndirectSpecTargets,
+		Flushes:             s.Flushes - prev.Flushes,
+		Fences:              s.Fences - prev.Fences,
+		Syscalls:            s.Syscalls - prev.Syscalls,
+		StallCycles:         s.StallCycles - prev.StallCycles,
 	}
 }
 
@@ -385,6 +438,8 @@ func (c *CPU) waitReg(r uint8) {
 }
 
 // drain waits for every in-flight result (serialising instructions).
+// The store queue drains with it: no pending store survives a fence, so
+// a drained core offers no Spectre-v4 bypass window.
 func (c *CPU) drain() {
 	maxReady := c.flagsReady
 	for _, r := range c.regReady {
@@ -395,6 +450,9 @@ func (c *CPU) drain() {
 	if maxReady > c.Cycle {
 		c.stallCycles += maxReady - c.Cycle
 		c.Cycle = maxReady
+	}
+	if len(c.pendingStores) != 0 {
+		c.pendingStores = c.pendingStores[:0]
 	}
 }
 

@@ -237,6 +237,13 @@ func (c *CPU) execute(in isa.Instruction) error {
 		}
 		lat, _ := c.Caches.Access(addr)
 		c.loads++
+		if len(c.pendingStores) != 0 {
+			size := uint64(8)
+			if in.Op == isa.LOADB {
+				size = 1
+			}
+			c.bypassCheck(in, addr, size, v, lat)
+		}
 		if addr < c.probeHi && addr >= c.probeLo && c.tel != nil {
 			c.telEmit(telemetry.KindCovertProbe, c.Cycle, c.PC, addr, lat)
 		}
@@ -249,6 +256,16 @@ func (c *CPU) execute(in isa.Instruction) error {
 	case isa.STORE, isa.STOREB:
 		c.waitReg(in.Rs1)
 		addr := c.Regs[in.Rs1] + uint64(in.Imm)
+		if c.cfg.SpeculationEnabled && !c.cfg.DisableStoreBypass && c.regReady[in.Rs2] > c.Cycle {
+			// Data register still in flight: the value written below is
+			// architecturally correct (the register file always is), but
+			// younger loads may speculatively bypass it (Spectre v4).
+			size := uint64(8)
+			if in.Op == isa.STOREB {
+				size = 1
+			}
+			c.trackPendingStore(addr, size, c.regReady[in.Rs2])
+		}
 		var err error
 		if in.Op == isa.STORE {
 			err = c.Mem.Write64(addr, c.Regs[in.Rs2])
@@ -481,7 +498,11 @@ func (c *CPU) indirect(rs1 uint8, target uint64) {
 		c.Cycle += 1 + c.cfg.MispredictPenalty
 	default:
 		c.BP.Stats.IndirectMiss++
-		if ok {
+		if ok && !c.cfg.Retpoline {
+			// The stale BTB entry redirects the transient front end —
+			// possibly to a target injected from an aliasing site (v2).
+			// A retpolined binary's thunk never exposes the BTB's guess.
+			c.indirectSpecs++
 			c.speculate(pred, c.regReady[rs1]+c.cfg.MispredictPenalty)
 		}
 		if c.regReady[rs1] > c.Cycle {

@@ -5,6 +5,15 @@ import (
 	"repro/internal/telemetry"
 )
 
+// specByte is one byte of an episode's private store buffer. visibleAt
+// is the cycle the producing store's data resolves: a speculative load
+// issued earlier may *bypass* the entry and read stale memory instead —
+// the Spectre-v4 disambiguation guess, inside an episode.
+type specByte struct {
+	b         byte
+	visibleAt uint64
+}
+
 // specState is the transient copy of architectural state a wrong-path
 // episode mutates. Registers, flags and a byte-granular store buffer are
 // private to the episode and vanish at squash; cache fills made by
@@ -17,7 +26,7 @@ type specState struct {
 	flagLT   bool
 	flagB    bool
 	flagsRdy uint64
-	store    map[uint64]byte
+	store    map[uint64]specByte
 	filled   []uint64 // addresses whose loads missed (for squash rollback)
 }
 
@@ -28,6 +37,14 @@ type specState struct {
 // loads complete asynchronously, and consumers of in-flight values stall
 // the episode clock. Architectural state is untouched.
 func (c *CPU) speculate(pc, deadline uint64) {
+	c.speculateSeeded(pc, deadline, nil)
+}
+
+// speculateSeeded is speculate with an optional hook that adjusts the
+// episode's initial transient state — the store-bypass path seeds the
+// bypassing load's destination with the stale value before the wrong
+// path runs (ssb.go).
+func (c *CPU) speculateSeeded(pc, deadline uint64, seed func(*specState)) {
 	if !c.cfg.SpeculationEnabled {
 		return
 	}
@@ -38,7 +55,10 @@ func (c *CPU) speculate(pc, deadline uint64) {
 		flagLT:   c.flagLT,
 		flagB:    c.flagB,
 		flagsRdy: c.flagsReady,
-		store:    make(map[uint64]byte),
+		store:    make(map[uint64]specByte),
+	}
+	if seed != nil {
+		seed(&s)
 	}
 	cyc := c.Cycle
 
@@ -120,7 +140,7 @@ loop:
 			if in.Op == isa.LOADB {
 				size = 1
 			}
-			v, err := c.specRead(&s, addr, size)
+			v, err := c.specRead(&s, addr, size, cyc)
 			if err != nil {
 				break loop
 			}
@@ -146,16 +166,26 @@ loop:
 			if in.Op == isa.STOREB {
 				n = 1
 			}
+			// Data still in flight leaves the entry invisible until it
+			// resolves: younger speculative loads bypass it (Spectre v4).
+			vis := cyc + 1
+			if s.ready[in.Rs2] > vis {
+				vis = s.ready[in.Rs2]
+			}
 			for i := uint64(0); i < n; i++ {
-				s.store[addr+i] = byte(s.regs[in.Rs2] >> (8 * i))
+				s.store[addr+i] = specByte{b: byte(s.regs[in.Rs2] >> (8 * i)), visibleAt: vis}
 			}
 			cyc++
 			pc = next
 
 		case isa.PUSH:
 			sp := s.regs[isa.RegSP] - 8
+			vis := cyc + 1
+			if s.ready[in.Rs1] > vis {
+				vis = s.ready[in.Rs1]
+			}
 			for i := uint64(0); i < 8; i++ {
-				s.store[sp+i] = byte(s.regs[in.Rs1] >> (8 * i))
+				s.store[sp+i] = specByte{b: byte(s.regs[in.Rs1] >> (8 * i)), visibleAt: vis}
 			}
 			s.regs[isa.RegSP] = sp
 			cyc++
@@ -164,7 +194,7 @@ loop:
 
 		case isa.POP:
 			sp := s.regs[isa.RegSP]
-			v, err := c.specRead(&s, sp, 8)
+			v, err := c.specRead(&s, sp, 8, cyc)
 			if err != nil {
 				break loop
 			}
@@ -210,9 +240,11 @@ loop:
 			}
 
 		case isa.CALL:
+			// The pushed return address is a constant: forwarded exactly,
+			// visible immediately.
 			sp := s.regs[isa.RegSP] - 8
 			for i := uint64(0); i < 8; i++ {
-				s.store[sp+i] = byte(next >> (8 * i))
+				s.store[sp+i] = specByte{b: byte(next >> (8 * i)), visibleAt: cyc}
 			}
 			s.regs[isa.RegSP] = sp
 			cyc++
@@ -220,24 +252,30 @@ loop:
 			pc = uint64(in.Imm)
 
 		case isa.CALLR:
-			wait(in.Rs1)
 			sp := s.regs[isa.RegSP] - 8
 			for i := uint64(0); i < 8; i++ {
-				s.store[sp+i] = byte(next >> (8 * i))
+				s.store[sp+i] = specByte{b: byte(next >> (8 * i)), visibleAt: cyc}
 			}
 			s.regs[isa.RegSP] = sp
 			cyc++
 			s.ready[isa.RegSP] = cyc
-			pc = s.regs[in.Rs1]
+			if tgt, ok := c.specIndirectTarget(&s, in.Rs1, pc, cyc); ok {
+				pc = tgt
+			} else {
+				break loop
+			}
 
 		case isa.JMPR:
-			wait(in.Rs1)
 			cyc++
-			pc = s.regs[in.Rs1]
+			if tgt, ok := c.specIndirectTarget(&s, in.Rs1, pc, cyc); ok {
+				pc = tgt
+			} else {
+				break loop
+			}
 
 		case isa.RET:
 			sp := s.regs[isa.RegSP]
-			v, err := c.specRead(&s, sp, 8)
+			v, err := c.specRead(&s, sp, 8, cyc)
 			if err != nil {
 				break loop
 			}
@@ -279,10 +317,36 @@ loop:
 	}
 }
 
-// specRead reads size bytes (little-endian) forwarding from the episode's
-// store buffer, falling back to permission-checked memory. Faults abort
-// the episode (returned as errors).
-func (c *CPU) specRead(s *specState, addr, size uint64) (uint64, error) {
+// specIndirectTarget resolves an indirect branch target inside an
+// episode at cycle cyc. A register whose value has resolved is followed
+// functionally. An in-flight target is speculated *through* via the
+// BTB's prediction for the site — which, with partial tags, may have
+// been injected from a cross-trained aliasing site (Spectre v2). With
+// no prediction the front end has nowhere to fetch from and the episode
+// ends; under Retpoline the thunk's capture loop pins the transient
+// path at the site, so the BTB is never consulted.
+func (c *CPU) specIndirectTarget(s *specState, rs1 uint8, branchPC, cyc uint64) (uint64, bool) {
+	if s.ready[rs1] <= cyc {
+		return s.regs[rs1], true
+	}
+	if c.cfg.Retpoline {
+		return 0, false
+	}
+	if pred, ok := c.BP.BTB.Predict(branchPC); ok {
+		c.indirectSpecs++
+		return pred, true
+	}
+	return 0, false
+}
+
+// specRead reads size bytes (little-endian) at episode cycle cyc,
+// forwarding from the episode's store buffer and falling back to
+// permission-checked memory. Entries whose producing store's data has
+// not resolved by cyc are not yet visible: the load bypasses them and
+// reads the stale memory bytes underneath — the in-episode face of the
+// Spectre-v4 guess (the retired-path face lives in ssb.go). Faults
+// abort the episode (returned as errors).
+func (c *CPU) specRead(s *specState, addr, size, cyc uint64) (uint64, error) {
 	if len(s.store) == 0 {
 		// No speculative stores to forward: whole-word fast path.
 		if size == 8 {
@@ -294,8 +358,8 @@ func (c *CPU) specRead(s *specState, addr, size uint64) (uint64, error) {
 	var v uint64
 	for i := uint64(0); i < size; i++ {
 		a := addr + i
-		if b, ok := s.store[a]; ok {
-			v |= uint64(b) << (8 * i)
+		if e, ok := s.store[a]; ok && e.visibleAt <= cyc {
+			v |= uint64(e.b) << (8 * i)
 			continue
 		}
 		b, err := c.Mem.Read8(a)

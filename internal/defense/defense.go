@@ -41,6 +41,45 @@ type Posture struct {
 	CSFencing bool
 	// NoSpeculation disables wrong-path execution entirely.
 	NoSpeculation bool
+
+	// The software-mitigation postures of Bălucea & Irofti: each models a
+	// compiler pass applied to the victim code (the attack binary's own
+	// gadget routines — the threat model's "defended victim"). At most
+	// one of the three codegen transforms below is honoured per posture,
+	// in field order; they are alternatives, not layers.
+
+	// IndexMasking clamps attacker-controlled indices with a bitmask
+	// before the dependent access.
+	IndexMasking bool
+	// SLH applies speculative load hardening: the index is masked with a
+	// data-dependent all-ones/zero mask from the bounds comparison.
+	SLH bool
+	// Retpoline replaces indirect calls with return trampolines, so the
+	// BTB is neither trained nor consulted.
+	Retpoline bool
+	// FenceInsertion places LFENCEs at speculation-reachable points
+	// (after bounds checks, at return landing sites, between sanitizing
+	// stores and reloads).
+	FenceInsertion bool
+	// SSBD disables speculative store bypass in the core (the
+	// chicken-bit analogue; no recompile needed).
+	SSBD bool
+}
+
+// hardening maps the posture's codegen flags to the generator transform
+// (first of mask/SLH/retpoline/fence wins).
+func (p Posture) hardening() spectre.Hardening {
+	switch {
+	case p.IndexMasking:
+		return spectre.HardenIndexMask
+	case p.SLH:
+		return spectre.HardenSLH
+	case p.Retpoline:
+		return spectre.HardenRetpoline
+	case p.FenceInsertion:
+		return spectre.HardenFence
+	}
+	return spectre.HardenNone
 }
 
 // Attacker is the adversary's capability set. The paper's §I cites
@@ -113,6 +152,7 @@ func Evaluate(p Posture, atk Attacker, seed int64) (Outcome, error) {
 	cfg.CPU.SquashCacheEffects = p.InvisiSpec
 	cfg.CPU.FenceConditional = p.CSFencing
 	cfg.CPU.SpeculationEnabled = !p.NoSpeculation
+	cfg.CPU.DisableStoreBypass = p.SSBD
 	m := vm.New(cfg)
 	m.Register("host", hostMod, 0x100000)
 	hostImg, err := m.Load("host")
@@ -161,6 +201,7 @@ func Evaluate(p Posture, atk Attacker, seed int64) (Outcome, error) {
 		Variant:    atk.Variant,
 		TargetAddr: secretAddr,
 		SecretLen:  len(Secret),
+		Harden:     p.hardening(),
 	}
 	if atk.Perturb {
 		attCfg.PerturbAsm = perturb.Paper().Asm()
@@ -259,6 +300,19 @@ func Matrix(seed int64) ([]MatrixRow, error) {
 		{"privileged clflush (§IV)", Posture{DEP: true, PrivilegedFlush: true}, Attacker{}},
 		{"InvisiSpec", Posture{DEP: true, InvisiSpec: true}, Attacker{}},
 		{"speculation disabled", Posture{DEP: true, NoSpeculation: true}, Attacker{}},
+		// The software-mitigation postures, each probed twice: once by
+		// the variant it seals and once by the variant a defense-aware
+		// attacker re-targets to slip past it.
+		{"index masking", Posture{DEP: true, IndexMasking: true}, Attacker{}},
+		{"index masking, v2 variant", Posture{DEP: true, IndexMasking: true}, Attacker{Variant: spectre.V2CrossTrain}},
+		{"SLH", Posture{DEP: true, SLH: true}, Attacker{}},
+		{"SLH, v4 variant", Posture{DEP: true, SLH: true}, Attacker{Variant: spectre.V4StoreBypass}},
+		{"retpoline, v2 variant", Posture{DEP: true, Retpoline: true}, Attacker{Variant: spectre.V2CrossTrain}},
+		{"retpoline, v1 variant", Posture{DEP: true, Retpoline: true}, Attacker{}},
+		{"fence insertion", Posture{DEP: true, FenceInsertion: true}, Attacker{}},
+		{"fence insertion, v2 variant", Posture{DEP: true, FenceInsertion: true}, Attacker{Variant: spectre.V2CrossTrain}},
+		{"SSBD, v4 variant", Posture{DEP: true, SSBD: true}, Attacker{Variant: spectre.V4StoreBypass}},
+		{"SSBD, v1 variant", Posture{DEP: true, SSBD: true}, Attacker{}},
 	}
 	var rows []MatrixRow
 	for _, c := range cases {

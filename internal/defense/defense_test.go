@@ -125,7 +125,7 @@ func TestMatrixCoversScenarios(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 12 {
+	if len(rows) != 22 {
 		t.Fatalf("matrix has %d rows", len(rows))
 	}
 	byName := map[string]Outcome{}
@@ -142,6 +142,11 @@ func TestMatrixCoversScenarios(t *testing.T) {
 		"DEP + ASLR, leaked layout",
 		"all memory defenses, both leaks",
 		"context-sensitive fencing, RSB variant",
+		"index masking, v2 variant",
+		"SLH, v4 variant",
+		"retpoline, v1 variant",
+		"fence insertion, v2 variant",
+		"SSBD, v1 variant",
 	}
 	for _, n := range wins {
 		if !byName[n].Success {
@@ -155,6 +160,11 @@ func TestMatrixCoversScenarios(t *testing.T) {
 		"privileged clflush (§IV)",
 		"InvisiSpec",
 		"speculation disabled",
+		"index masking",
+		"SLH",
+		"retpoline, v2 variant",
+		"fence insertion",
+		"SSBD, v4 variant",
 	}
 	for _, n := range losses {
 		if byName[n].Success {

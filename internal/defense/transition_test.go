@@ -81,14 +81,14 @@ func TestSpeculationSwitchMidRun(t *testing.T) {
 	// must be predicted, and the alternation makes it mispredict — a
 	// wrong-path episode per trip or so.
 	loop := []isa.Instruction{
-		{Op: isa.MOVI, Rd: 1, Imm: 300},     // 0: trip counter
-		{Op: isa.MOVI, Rd: 2, Imm: 0},       // 1: alternator
-		{Op: isa.MOVI, Rd: 3, Imm: 0x40000}, // 2: data address
-		{Op: isa.XORI, Rd: 2, Rs1: 2, Imm: 1},        // 3: top
-		{Op: isa.STORE, Rs1: 3, Rs2: 2},              // 4
-		{Op: isa.CLFLUSH, Rs1: 3},                    // 5: force the reload to miss
-		{Op: isa.LOAD, Rd: 4, Rs1: 3},                // 6: late-resolving compare operand
-		{Op: isa.CMPI, Rs1: 4, Imm: 1},               // 7
+		{Op: isa.MOVI, Rd: 1, Imm: 300},               // 0: trip counter
+		{Op: isa.MOVI, Rd: 2, Imm: 0},                 // 1: alternator
+		{Op: isa.MOVI, Rd: 3, Imm: 0x40000},           // 2: data address
+		{Op: isa.XORI, Rd: 2, Rs1: 2, Imm: 1},         // 3: top
+		{Op: isa.STORE, Rs1: 3, Rs2: 2},               // 4
+		{Op: isa.CLFLUSH, Rs1: 3},                     // 5: force the reload to miss
+		{Op: isa.LOAD, Rd: 4, Rs1: 3},                 // 6: late-resolving compare operand
+		{Op: isa.CMPI, Rs1: 4, Imm: 1},                // 7
 		{Op: isa.JE, Imm: 0x10000 + 10*isa.InstrSize}, // 8: skip the NOP half the trips
 		{Op: isa.NOP},                                 // 9
 		{Op: isa.SUBI, Rd: 1, Rs1: 1, Imm: 1},         // 10

@@ -14,9 +14,9 @@ import (
 // family (e.g. a tree) with no calibrated decision value.
 type notAScorer struct{ inner ml.Classifier }
 
-func (n notAScorer) Name() string                       { return "opaque" }
-func (n notAScorer) Fit(X [][]float64, y []int) error   { return n.inner.Fit(X, y) }
-func (n notAScorer) Predict(x []float64) int            { return n.inner.Predict(x) }
+func (n notAScorer) Name() string                     { return "opaque" }
+func (n notAScorer) Fit(X [][]float64, y []int) error { return n.inner.Fit(X, y) }
+func (n notAScorer) Predict(x []float64) int          { return n.inner.Predict(x) }
 
 // TestAUCSeparatesClasses: on a well-separated dataset a trained scorer
 // must push AUC close to 1, far above chance, and the AUC must beat the

@@ -48,10 +48,10 @@ func TestLockstepRandomPrograms(t *testing.T) {
 // wrong-path speculation (the speculation-consistency mode).
 func TestLockstepConfigSweep(t *testing.T) {
 	configs := map[string]cpu.Config{
-		"baseline":   cpu.DefaultConfig(),
-		"no-spec":    {SpecWindow: 64, MispredictPenalty: 24},
-		"invisispec": {SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, SquashCacheEffects: true},
-		"fence-cond": {SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, FenceConditional: true},
+		"baseline":    cpu.DefaultConfig(),
+		"no-spec":     {SpecWindow: 64, MispredictPenalty: 24},
+		"invisispec":  {SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, SquashCacheEffects: true},
+		"fence-cond":  {SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, FenceConditional: true},
 		"tiny-window": {SpecWindow: 2, MispredictPenalty: 3, SpeculationEnabled: true},
 		"gshare":      {SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, Predictor: "gshare", NextLinePrefetch: true},
 		"noisy":       {SpecWindow: 64, MispredictPenalty: 24, SpeculationEnabled: true, NoisePeriod: 50, NoiseSeed: 7},
@@ -152,7 +152,7 @@ func TestBrokenFastPathCaughtAndMinimized(t *testing.T) {
 	}
 	const storeStep = 10
 	instrs = append(instrs, isa.Instruction{Op: isa.STORE, Rs1: 10, Rs2: 1, Imm: 64}) // 10
-	for i := 0; i < 40; i++ { // long tail the minimizer must discard
+	for i := 0; i < 40; i++ {                                                         // long tail the minimizer must discard
 		instrs = append(instrs, isa.Instruction{Op: isa.XOR, Rd: 3, Rs1: 3, Rs2: 2})
 	}
 	instrs = append(instrs, isa.Instruction{Op: isa.HALT})
@@ -262,9 +262,9 @@ func TestOracleStandalone(t *testing.T) {
 func TestDefenseSwitchMidRunStaysLockstepped(t *testing.T) {
 	instrs := []isa.Instruction{
 		{Op: isa.MOVI, Rd: 1, Imm: int64(progen.DataBase)},
-		{Op: isa.CLFLUSH, Rs1: 1},            // legal under the lax posture
+		{Op: isa.CLFLUSH, Rs1: 1}, // legal under the lax posture
 		{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 1},
-		{Op: isa.CLFLUSH, Rs1: 1, Imm: 64},   // faults after the switch
+		{Op: isa.CLFLUSH, Rs1: 1, Imm: 64}, // faults after the switch
 		{Op: isa.HALT},
 	}
 	p, err := progen.Craft(instrs, nil, false)

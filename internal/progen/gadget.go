@@ -40,8 +40,31 @@ const (
 	// GadgetPadded pads the dependency chain past the speculation
 	// window, so the transmit never issues transiently. Does not leak.
 	GadgetPadded
+	// GadgetMaskedIndex clamps the attacker index with a contiguous
+	// bitmask between the guard and the access (Spectre index masking),
+	// so the wrong path reads in-bounds. Does not leak.
+	GadgetMaskedIndex
+	// GadgetSLH hardens the access with speculative load hardening: an
+	// all-ones/all-zero mask derived from the bounds comparison zeroes
+	// the index on the mispredicted path. Does not leak.
+	GadgetSLH
+	// GadgetV2Inject is the Spectre-v2 pattern: an indirect call through
+	// a flushed function-pointer slot whose BTB entry was trained to a
+	// disclosure gadget — the transient path runs attacker-chosen code.
+	// Leaks.
+	GadgetV2Inject
+	// GadgetV2Retpoline replaces the indirect call with a retpoline
+	// thunk, so the dispatch never consults the BTB. Does not leak.
+	GadgetV2Retpoline
+	// GadgetSSB is the Spectre-v4 pattern: a sanitizing store whose data
+	// is still in flight is speculatively bypassed by the reload, which
+	// transiently reads the stale secret staged underneath. Leaks.
+	GadgetSSB
+	// GadgetSSBFenced fences between the sanitizing store and the
+	// reload, draining the store buffer. Does not leak.
+	GadgetSSBFenced
 
-	NumGadgetKinds = int(GadgetPadded) + 1
+	NumGadgetKinds = int(GadgetSSBFenced) + 1
 )
 
 func (k GadgetKind) String() string {
@@ -58,13 +81,27 @@ func (k GadgetKind) String() string {
 		return "resolved-bound"
 	case GadgetPadded:
 		return "padded"
+	case GadgetMaskedIndex:
+		return "masked-index"
+	case GadgetSLH:
+		return "slh"
+	case GadgetV2Inject:
+		return "v2-inject"
+	case GadgetV2Retpoline:
+		return "v2-retpoline"
+	case GadgetSSB:
+		return "ssb"
+	case GadgetSSBFenced:
+		return "ssb-fenced"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
 // ExpectLeak is the ground-truth label: whether a program of this kind
 // leaks its secret byte into the probe array's cache lines.
-func (k GadgetKind) ExpectLeak() bool { return k == GadgetLeak }
+func (k GadgetKind) ExpectLeak() bool {
+	return k == GadgetLeak || k == GadgetV2Inject || k == GadgetSSB
+}
 
 // GadgetKinds lists every variant, leak first.
 func GadgetKinds() []GadgetKind {
@@ -79,18 +116,21 @@ func GadgetKinds() []GadgetKind {
 // their traffic to the first page; the gadget's working set sits above
 // it, each datum on its own cache line.
 const (
-	gadBenignPages = 1               // benign traffic: page 0 only
-	gadBoundOff    = 0x2000          // uint64 bound (= gadArrLen)
-	gadArrOff      = 0x2040          // byte array arr[gadArrLen]
-	gadArrLen      = 8               //
-	gadSecretOff   = 0x2400          // the secret byte (own line)
-	gadProbeOff    = 0x3000          // probe array: 256 lines x 64B
-	gadProbeStride = 64              //
-	gadDataPages   = 7               // 0x7000 bytes total
-	gadTaintReg    = isa.RegBP       // attacker-controlled index register
-	gadTrainCalls  = 6               // in-bounds calls before the attack
-	gadPadCount    = 70              // dependency padding (> SpecWindow)
-	gadSafeIndex   = 3               // in-bounds constant for Sanitized
+	gadBenignPages = 1         // benign traffic: page 0 only
+	gadBoundOff    = 0x2000    // uint64 bound (= gadArrLen)
+	gadArrOff      = 0x2040    // byte array arr[gadArrLen]
+	gadArrLen      = 8         //
+	gadFnptrOff    = 0x2080    // v2 function-pointer slot (own line)
+	gadSlotOff     = 0x20C0    // v4 store-bypass slot (own line)
+	gadZeroOff     = 0x2100    // v4 sanitizing zero word (own line)
+	gadSecretOff   = 0x2400    // the secret byte (own line)
+	gadProbeOff    = 0x3000    // probe array: 256 lines x 64B
+	gadProbeStride = 64        //
+	gadDataPages   = 7         // 0x7000 bytes total
+	gadTaintReg    = isa.RegBP // attacker-controlled index register
+	gadTrainCalls  = 6         // in-bounds calls before the attack
+	gadPadCount    = 70        // dependency padding (> SpecWindow)
+	gadSafeIndex   = 3         // in-bounds constant for Sanitized
 )
 
 // GadgetMeta describes the generated gadget to the analyzer's dynamic
@@ -157,6 +197,72 @@ func GenerateGadget(seed int64, kind GadgetKind) (Program, GadgetMeta) {
 		g.block()
 	}
 
+	var guardIdx, accessIdx, transmitIdx int
+	switch kind {
+	case GadgetV2Inject, GadgetV2Retpoline:
+		guardIdx, accessIdx, transmitIdx = g.v2Gadget(kind)
+	case GadgetSSB, GadgetSSBFenced:
+		guardIdx, accessIdx, transmitIdx = g.ssbGadget(kind)
+	default:
+		guardIdx, accessIdx, transmitIdx = g.v1Gadget(kind)
+	}
+
+	code := g.encode()
+	data := make([]byte, gadDataPages*mem.PageSize)
+	g.rng.Read(data[:gadBenignPages*mem.PageSize])
+	putU64(data[gadBoundOff:], gadArrLen)
+	for i := 0; i < gadArrLen; i++ {
+		data[gadArrOff+i] = byte(i)
+	}
+	data[gadSecretOff] = 0xAA // placeholder; the runner plants the secret
+
+	p := Program{
+		Seed:     seed,
+		Code:     code,
+		NumInstr: len(g.ins),
+		CodeBase: CodeBase,
+		Data:     data,
+		DataBase: DataBase,
+		StackTop: MemSize - mem.PageSize,
+		MemSize:  MemSize,
+	}
+	pcOf := func(idx int) uint64 {
+		if idx < 0 {
+			return 0
+		}
+		return CodeBase + uint64(idx)*isa.InstrSize
+	}
+	taintVal := uint64(secretAddr - arrBase)
+	if kind == GadgetSSB || kind == GadgetSSBFenced {
+		// The v4 gadgets use the taint register as the address of the
+		// store-bypass slot, not as an array index.
+		taintVal = DataBase + gadSlotOff
+	}
+	meta := GadgetMeta{
+		Kind:        kind,
+		TaintReg:    gadTaintReg,
+		TaintVal:    taintVal,
+		GuardPC:     pcOf(guardIdx),
+		AccessPC:    pcOf(accessIdx),
+		TransmitPC:  pcOf(transmitIdx),
+		SecretAddr:  secretAddr,
+		ProbeBase:   probeBase,
+		ProbeStride: gadProbeStride,
+	}
+	return p, meta
+}
+
+// v1Gadget emits the Spectre-v1 family: predictor training, a bound
+// flush, and the malicious call into a bounds-checked victim, with the
+// kind's mitigation (fence, sanitizer, mask, SLH, padding) applied.
+// Returns the indices of the guard, access, and transmit instructions
+// (transmit -1 for the no-transmit kind).
+func (g *gen) v1Gadget(kind GadgetKind) (guardIdx, accessIdx, transmitIdx int) {
+	const (
+		boundAddr = DataBase + gadBoundOff
+		arrBase   = DataBase + gadArrOff
+		probeBase = DataBase + gadProbeOff
+	)
 	victim := g.newLabel()
 
 	// The gadget sequence. MFENCE first: a clean speculative slate.
@@ -187,9 +293,24 @@ func GenerateGadget(seed int64, kind GadgetKind) (Program, GadgetMeta) {
 		g.emit(isa.Instruction{Op: isa.LOAD, Rd: 5, Rs1: 4})
 		g.emit(isa.Instruction{Op: isa.CMP, Rs1: gadTaintReg, Rs2: 5})
 	}
-	guardIdx := len(g.ins)
+	guardIdx = len(g.ins)
 	g.emitRef(isa.Instruction{Op: isa.JAE}, vout)
-	accessIdx := len(g.ins)
+	switch kind {
+	case GadgetMaskedIndex:
+		// Index masking: clamp to the array before the access; the
+		// mispredicted path reads arr[x&7], never the secret.
+		g.emit(isa.Instruction{Op: isa.ANDI, Rd: gadTaintReg, Rs1: gadTaintReg, Imm: gadArrLen - 1})
+	case GadgetSLH:
+		// Speculative load hardening: r7 = (x < bound) ? ~0 : 0, built
+		// from the sign of x-bound, then AND-ed into the index — on the
+		// wrong path the mask is zero and the access reads arr[0].
+		g.emit(isa.Instruction{Op: isa.SUB, Rd: 7, Rs1: gadTaintReg, Rs2: 5})
+		g.emit(isa.Instruction{Op: isa.SHRI, Rd: 7, Rs1: 7, Imm: 63})
+		g.emit(isa.Instruction{Op: isa.MOVI, Rd: 3, Imm: 0})
+		g.emit(isa.Instruction{Op: isa.SUB, Rd: 7, Rs1: 3, Rs2: 7})
+		g.emit(isa.Instruction{Op: isa.AND, Rd: gadTaintReg, Rs1: gadTaintReg, Rs2: 7})
+	}
+	accessIdx = len(g.ins)
 	g.emit(isa.Instruction{Op: isa.LOADB, Rd: 6, Rs1: gadTaintReg, Imm: arrBase})
 	if kind == GadgetFenced {
 		g.emit(isa.Instruction{Op: isa.LFENCE})
@@ -200,51 +321,135 @@ func GenerateGadget(seed int64, kind GadgetKind) (Program, GadgetMeta) {
 			g.emit(isa.Instruction{Op: isa.ADDI, Rd: 7, Rs1: 7, Imm: 1})
 		}
 	}
-	transmitIdx := -1
+	transmitIdx = -1
 	if kind != GadgetNoTransmit {
 		transmitIdx = len(g.ins)
 		g.emit(isa.Instruction{Op: isa.LOADB, Rd: 8, Rs1: 6, Imm: probeBase})
 	}
 	g.bind(vout)
 	g.emit(isa.Instruction{Op: isa.RET})
+	return guardIdx, accessIdx, transmitIdx
+}
 
-	code := g.encode()
-	data := make([]byte, gadDataPages*mem.PageSize)
-	g.rng.Read(data[:gadBenignPages*mem.PageSize])
-	putU64(data[gadBoundOff:], gadArrLen)
-	for i := 0; i < gadArrLen; i++ {
-		data[gadArrOff+i] = byte(i)
-	}
-	data[gadSecretOff] = 0xAA // placeholder; the runner plants the secret
+// v2Gadget emits the Spectre-v2 family: a dispatch routine calling
+// through a function-pointer slot, trained with the disclosure gadget's
+// address, then re-pointed at a benign routine and flushed so the
+// armed call's target is in flight — the BTB steers the transient path
+// into the gadget with the out-of-bounds index live. The retpoline
+// kind replaces the indirect call with a thunk that pins speculation
+// in a capture loop. Guard is the dispatch's indirect call (the thunk
+// call for the retpoline kind); access/transmit are the gadget body's
+// loads.
+func (g *gen) v2Gadget(kind GadgetKind) (guardIdx, accessIdx, transmitIdx int) {
+	const (
+		fnptrAddr = DataBase + gadFnptrOff
+		arrBase   = DataBase + gadArrOff
+		probeBase = DataBase + gadProbeOff
+	)
+	dispatch := g.newLabel()
+	gadget := g.newLabel()
+	benign := g.newLabel()
 
-	p := Program{
-		Seed:     seed,
-		Code:     code,
-		NumInstr: len(g.ins),
-		CodeBase: CodeBase,
-		Data:     data,
-		DataBase: DataBase,
-		StackTop: MemSize - mem.PageSize,
-		MemSize:  MemSize,
+	g.emit(isa.Instruction{Op: isa.MFENCE})
+	g.emit(isa.Instruction{Op: isa.MOV, Rd: 2, Rs1: gadTaintReg}) // save the index
+	// Train: plant the gadget's address in the slot and call the
+	// dispatch with in-bounds indices, filling the BTB entry.
+	g.emit(isa.Instruction{Op: isa.MOVI, Rd: 9, Imm: fnptrAddr})
+	g.emitRef(isa.Instruction{Op: isa.MOVI, Rd: 10}, gadget)
+	g.emit(isa.Instruction{Op: isa.STORE, Rs1: 9, Rs2: 10})
+	for k := 0; k < gadTrainCalls; k++ {
+		g.emit(isa.Instruction{Op: isa.MOVI, Rd: gadTaintReg, Imm: int64(k % gadArrLen)})
+		g.emitRef(isa.Instruction{Op: isa.CALL}, dispatch)
 	}
-	pcOf := func(idx int) uint64 {
-		if idx < 0 {
-			return 0
-		}
-		return CodeBase + uint64(idx)*isa.InstrSize
+	// Arm: re-point the slot at the benign routine and flush it, so the
+	// dispatch's pointer load is in flight when the call predicts.
+	g.emitRef(isa.Instruction{Op: isa.MOVI, Rd: 10}, benign)
+	g.emit(isa.Instruction{Op: isa.STORE, Rs1: 9, Rs2: 10})
+	g.emit(isa.Instruction{Op: isa.CLFLUSH, Rs1: 9})
+	g.emit(isa.Instruction{Op: isa.MFENCE})
+	g.emit(isa.Instruction{Op: isa.MOV, Rd: gadTaintReg, Rs1: 2}) // restore the index
+	g.emitRef(isa.Instruction{Op: isa.CALL}, dispatch)
+	g.emit(isa.Instruction{Op: isa.HALT})
+
+	// The dispatch: fn = *slot; fn().
+	g.bind(dispatch)
+	g.emit(isa.Instruction{Op: isa.MOVI, Rd: 9, Imm: fnptrAddr})
+	g.emit(isa.Instruction{Op: isa.LOAD, Rd: 11, Rs1: 9})
+	if kind == GadgetV2Retpoline {
+		thunk := g.newLabel()
+		capture := g.newLabel()
+		setup := g.newLabel()
+		guardIdx = len(g.ins)
+		g.emitRef(isa.Instruction{Op: isa.CALL}, thunk)
+		g.emit(isa.Instruction{Op: isa.LFENCE})
+		g.emit(isa.Instruction{Op: isa.RET})
+		// The thunk: the RSB predicts the capture loop; the RET's real
+		// target is the pointer smashed into the return slot.
+		g.bind(thunk)
+		g.emitRef(isa.Instruction{Op: isa.CALL}, setup)
+		g.bind(capture)
+		g.emitRef(isa.Instruction{Op: isa.JMP}, capture)
+		g.bind(setup)
+		g.emit(isa.Instruction{Op: isa.STORE, Rs1: isa.RegSP, Rs2: 11})
+		g.emit(isa.Instruction{Op: isa.RET})
+	} else {
+		guardIdx = len(g.ins)
+		g.emit(isa.Instruction{Op: isa.CALLR, Rs1: 11})
+		g.emit(isa.Instruction{Op: isa.LFENCE})
+		g.emit(isa.Instruction{Op: isa.RET})
 	}
-	meta := GadgetMeta{
-		Kind:        kind,
-		TaintReg:    gadTaintReg,
-		TaintVal:    secretAddr - arrBase,
-		GuardPC:     pcOf(guardIdx),
-		AccessPC:    pcOf(accessIdx),
-		TransmitPC:  pcOf(transmitIdx),
-		SecretAddr:  secretAddr,
-		ProbeBase:   probeBase,
-		ProbeStride: gadProbeStride,
+
+	g.bind(benign)
+	g.emit(isa.Instruction{Op: isa.RET})
+
+	// The disclosure gadget: probe[arr[x]*64]. Statically unreachable —
+	// only the trained BTB ever steers execution here.
+	g.bind(gadget)
+	accessIdx = len(g.ins)
+	g.emit(isa.Instruction{Op: isa.LOADB, Rd: 6, Rs1: gadTaintReg, Imm: arrBase})
+	g.emit(isa.Instruction{Op: isa.SHLI, Rd: 6, Rs1: 6, Imm: 6})
+	transmitIdx = len(g.ins)
+	g.emit(isa.Instruction{Op: isa.LOADB, Rd: 8, Rs1: 6, Imm: probeBase})
+	g.emit(isa.Instruction{Op: isa.RET})
+	return guardIdx, accessIdx, transmitIdx
+}
+
+// ssbGadget emits the Spectre-v4 family: the secret is staged into the
+// slot the taint register points at, a sanitizing store of a
+// slow-arriving zero overwrites it, and the immediate reload
+// speculatively bypasses the not-yet-visible store — transiently
+// reading the stale secret. Guard is the sanitizing store; access is
+// the bypassing load; transmit is the probe load.
+func (g *gen) ssbGadget(kind GadgetKind) (guardIdx, accessIdx, transmitIdx int) {
+	const (
+		secretAddr = DataBase + gadSecretOff
+		zeroAddr   = DataBase + gadZeroOff
+		probeBase  = DataBase + gadProbeOff
+	)
+	g.emit(isa.Instruction{Op: isa.MFENCE})
+	// Stage the secret into the slot.
+	g.emit(isa.Instruction{Op: isa.MOVI, Rd: 9, Imm: secretAddr})
+	g.emit(isa.Instruction{Op: isa.LOADB, Rd: 2, Rs1: 9})
+	g.emit(isa.Instruction{Op: isa.STOREB, Rs1: gadTaintReg, Rs2: 2})
+	g.emit(isa.Instruction{Op: isa.MFENCE})
+	// Make the sanitizing zero slow to arrive.
+	g.emit(isa.Instruction{Op: isa.MOVI, Rd: 4, Imm: zeroAddr})
+	g.emit(isa.Instruction{Op: isa.CLFLUSH, Rs1: 4})
+	g.emit(isa.Instruction{Op: isa.MFENCE})
+	g.emit(isa.Instruction{Op: isa.LOAD, Rd: 12, Rs1: 4})
+	guardIdx = len(g.ins)
+	g.emit(isa.Instruction{Op: isa.STOREB, Rs1: gadTaintReg, Rs2: 12})
+	if kind == GadgetSSBFenced {
+		g.emit(isa.Instruction{Op: isa.LFENCE})
 	}
-	return p, meta
+	accessIdx = len(g.ins)
+	g.emit(isa.Instruction{Op: isa.LOADB, Rd: 6, Rs1: gadTaintReg})
+	g.emit(isa.Instruction{Op: isa.SHLI, Rd: 6, Rs1: 6, Imm: 6})
+	transmitIdx = len(g.ins)
+	g.emit(isa.Instruction{Op: isa.LOADB, Rd: 8, Rs1: 6, Imm: probeBase})
+	g.emit(isa.Instruction{Op: isa.LFENCE})
+	g.emit(isa.Instruction{Op: isa.HALT})
+	return guardIdx, accessIdx, transmitIdx
 }
 
 func putU64(b []byte, v uint64) {

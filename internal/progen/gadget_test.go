@@ -1,0 +1,134 @@
+package progen
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestGadgetKindsCatalogue: the kind list is complete, leak-first, with
+// distinct names, and ExpectLeak marks exactly the three unmitigated
+// families (v1 leak, v2 injection, v4 store bypass).
+func TestGadgetKindsCatalogue(t *testing.T) {
+	kinds := GadgetKinds()
+	if len(kinds) != NumGadgetKinds {
+		t.Fatalf("GadgetKinds() has %d entries, want %d", len(kinds), NumGadgetKinds)
+	}
+	if kinds[0] != GadgetLeak {
+		t.Errorf("first kind = %s, want leak", kinds[0])
+	}
+	names := map[string]bool{}
+	leaks := 0
+	for _, k := range kinds {
+		n := k.String()
+		if n == "" || names[n] {
+			t.Errorf("kind %d has empty or duplicate name %q", int(k), n)
+		}
+		names[n] = true
+		if k.ExpectLeak() {
+			leaks++
+		}
+	}
+	if leaks != 3 {
+		t.Errorf("%d kinds expect a leak, want 3 (leak, v2-inject, ssb)", leaks)
+	}
+	for _, want := range []string{"leak", "fenced", "masked-index", "slh", "v2-inject", "v2-retpoline", "ssb", "ssb-fenced"} {
+		if !names[want] {
+			t.Errorf("kind catalogue missing %q", want)
+		}
+	}
+	if got := GadgetKind(NumGadgetKinds).String(); got == "" {
+		t.Error("out-of-range kind must still stringify")
+	}
+}
+
+// TestGenerateGadgetMetaShape: for every kind and several seeds the
+// emitted program must be decodable and the meta PCs must land on real
+// instructions of the role the label claims — guard/access/transmit are
+// what the agreement soak keys on, so a mislabeled site would corrupt
+// every downstream verdict.
+func TestGenerateGadgetMetaShape(t *testing.T) {
+	for _, k := range GadgetKinds() {
+		for seed := int64(1); seed <= 5; seed++ {
+			p, meta := GenerateGadget(seed, k)
+			if meta.Kind != k {
+				t.Fatalf("%s seed %d: meta kind %s", k, seed, meta.Kind)
+			}
+			instrAt := func(pc uint64) isa.Instruction {
+				off := int(pc - CodeBase)
+				if off < 0 || off+isa.InstrSize > len(p.Code) || off%isa.InstrSize != 0 {
+					t.Fatalf("%s seed %d: pc %#x outside code", k, seed, pc)
+				}
+				in, err := isa.Decode(p.Code[off : off+isa.InstrSize])
+				if err != nil {
+					t.Fatalf("%s seed %d: undecodable instr at %#x: %v", k, seed, pc, err)
+				}
+				return in
+			}
+			switch k {
+			case GadgetV2Inject, GadgetV2Retpoline:
+				// The guard is the indirect dispatch (or its retpolined
+				// stand-in): CALLR for the vulnerable shape, CALL into the
+				// thunk for the hardened one.
+				op := instrAt(meta.GuardPC).Op
+				if k == GadgetV2Inject && op != isa.CALLR {
+					t.Errorf("%s seed %d: guard op %v, want CALLR", k, seed, op)
+				}
+			case GadgetSSB, GadgetSSBFenced:
+				op := instrAt(meta.GuardPC).Op
+				if op != isa.STOREB {
+					t.Errorf("%s seed %d: guard op %v, want the sanitizing STOREB", k, seed, op)
+				}
+			default:
+				op := instrAt(meta.GuardPC).Op
+				if op != isa.JAE {
+					t.Errorf("%s seed %d: guard op %v, want JAE", k, seed, op)
+				}
+			}
+			if op := instrAt(meta.AccessPC).Op; op != isa.LOADB && op != isa.LOAD {
+				t.Errorf("%s seed %d: access op %v, want a load", k, seed, op)
+			}
+			if k == GadgetNoTransmit {
+				if meta.TransmitPC != 0 {
+					t.Errorf("%s seed %d: no-transmit kind has transmit pc %#x", k, seed, meta.TransmitPC)
+				}
+			} else if op := instrAt(meta.TransmitPC).Op; op != isa.LOADB {
+				t.Errorf("%s seed %d: transmit op %v, want LOADB probe touch", k, seed, op)
+			}
+			if meta.ProbeStride == 0 || meta.ProbeBase == 0 || meta.SecretAddr == 0 {
+				t.Errorf("%s seed %d: meta layout fields unset: %+v", k, seed, meta)
+			}
+		}
+	}
+}
+
+// TestGenerateGadgetDeterministic: same (seed, kind) must be
+// byte-identical — the soak's repro contract.
+func TestGenerateGadgetDeterministic(t *testing.T) {
+	for _, k := range []GadgetKind{GadgetLeak, GadgetV2Inject, GadgetSSB} {
+		a, am := GenerateGadget(42, k)
+		b, bm := GenerateGadget(42, k)
+		if string(a.Code) != string(b.Code) || string(a.Data) != string(b.Data) {
+			t.Errorf("%s: program differs across identical calls", k)
+		}
+		if am != bm {
+			t.Errorf("%s: meta differs: %+v vs %+v", k, am, bm)
+		}
+	}
+}
+
+// TestSSBTaintValIsSlotAddress: the store-bypass kinds plant the slot
+// *address* (the bypass target), not an array index — the runner must
+// not confuse the two conventions.
+func TestSSBTaintValIsSlotAddress(t *testing.T) {
+	for _, k := range []GadgetKind{GadgetSSB, GadgetSSBFenced} {
+		_, meta := GenerateGadget(3, k)
+		if meta.TaintVal != DataBase+gadSlotOff {
+			t.Errorf("%s: taint val %#x, want slot address %#x", k, meta.TaintVal, uint64(DataBase+gadSlotOff))
+		}
+	}
+	_, meta := GenerateGadget(3, GadgetLeak)
+	if meta.TaintVal == DataBase+gadSlotOff {
+		t.Error("v1 leak kind reuses the slot-address convention")
+	}
+}

@@ -1,0 +1,138 @@
+package spectre
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// TestHardeningTruthTable pins the (variant × software-hardening) ground
+// truth at the generator level: each compiler-style transform seals
+// exactly the variants it addresses. The defense package's
+// TestVariantMitigationMatrix sweeps the same grid through full defense
+// postures; this table is the generator-local contract it builds on.
+func TestHardeningTruthTable(t *testing.T) {
+	type cell struct {
+		v    Variant
+		h    Hardening
+		leak bool
+	}
+	cells := []cell{
+		{V1BoundsCheck, HardenNone, true},
+		{V1BoundsCheck, HardenIndexMask, false},
+		{V1BoundsCheck, HardenSLH, false},
+		{V1BoundsCheck, HardenRetpoline, true},
+		{V1BoundsCheck, HardenFence, false},
+
+		{VRSB, HardenNone, true},
+		{VRSB, HardenIndexMask, true},
+		{VRSB, HardenSLH, true},
+		{VRSB, HardenRetpoline, true},
+		{VRSB, HardenFence, false},
+
+		{V2CrossTrain, HardenNone, true},
+		{V2CrossTrain, HardenIndexMask, true},
+		{V2CrossTrain, HardenSLH, true},
+		{V2CrossTrain, HardenRetpoline, false},
+		{V2CrossTrain, HardenFence, true},
+
+		{V4StoreBypass, HardenNone, true},
+		{V4StoreBypass, HardenIndexMask, true},
+		{V4StoreBypass, HardenSLH, true},
+		{V4StoreBypass, HardenRetpoline, true},
+		{V4StoreBypass, HardenFence, false},
+
+		{VBTB, HardenNone, true},
+		{VBTB, HardenRetpoline, false},
+
+		{VSpecStoreOverflow, HardenIndexMask, false},
+		{VSpecStoreOverflow, HardenSLH, false},
+		{VSpecStoreOverflow, HardenFence, false},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.v.String()+"/"+c.h.String(), func(t *testing.T) {
+			m, secret := setup(t, func(cf *Config) { cf.Variant = c.v; cf.Harden = c.h }, nil)
+			if err := m.Exec("spectre", nil, 50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			got := m.Output.String()
+			if c.leak && got != secret {
+				t.Errorf("expected leak, recovered %q", got)
+			}
+			if !c.leak && got == secret {
+				t.Errorf("expected sealed, but leaked %q", got)
+			}
+		})
+	}
+}
+
+// TestCPUDefenseKnobs covers the micro-architectural (posture-level, no
+// recompile) seals for the new variants: retpoline-equivalent BTB
+// suppression, full-tag BTB geometry, SSBD, and InvisiSpec squashing —
+// and pins that same-site retraining (VBTB) survives full tags, the
+// property separating it from cross-training.
+func TestCPUDefenseKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Variant
+		mut  func(*cpu.Config)
+		leak bool
+	}{
+		{"v2-cpu-retpoline", V2CrossTrain, func(c *cpu.Config) { c.Retpoline = true }, false},
+		{"v2-fulltag-btb", V2CrossTrain, func(c *cpu.Config) { c.BTBTagBits = -2 }, false},
+		{"v2-invisispec", V2CrossTrain, func(c *cpu.Config) { c.SquashCacheEffects = true }, false},
+		{"v4-ssbd", V4StoreBypass, func(c *cpu.Config) { c.DisableStoreBypass = true }, false},
+		{"v4-invisispec", V4StoreBypass, func(c *cpu.Config) { c.SquashCacheEffects = true }, false},
+		{"btb-fulltag-still-leaks", VBTB, func(c *cpu.Config) { c.BTBTagBits = -2 }, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg := cpu.DefaultConfig()
+			c.mut(&cfg)
+			m, secret := setup(t, func(cf *Config) { cf.Variant = c.v }, &cfg)
+			if err := m.Exec("spectre", nil, 50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			got := m.Output.String()
+			if c.leak && got != secret {
+				t.Errorf("expected leak, recovered %q", got)
+			}
+			if !c.leak && got == secret {
+				t.Errorf("expected sealed, but leaked %q", got)
+			}
+		})
+	}
+}
+
+// TestAllVariantsListsExtensions pins AllVariants ⊇ Variants and that the
+// paper-averaged set stays exactly the original four (regenerated goldens
+// depend on it).
+func TestAllVariantsListsExtensions(t *testing.T) {
+	if got := len(Variants()); got != 4 {
+		t.Fatalf("Variants() has %d entries, the paper averages 4", got)
+	}
+	all := AllVariants()
+	if len(all) != int(numVariants) {
+		t.Fatalf("AllVariants() has %d entries, want %d", len(all), int(numVariants))
+	}
+	seen := map[Variant]bool{}
+	for _, v := range all {
+		seen[v] = true
+		if strings.HasPrefix(v.String(), "variant(") {
+			t.Errorf("variant %d has no name", int(v))
+		}
+	}
+	for _, v := range Variants() {
+		if !seen[v] {
+			t.Errorf("AllVariants missing paper variant %s", v)
+		}
+	}
+	for _, h := range Hardenings() {
+		if strings.HasPrefix(h.String(), "hardening(") {
+			t.Errorf("hardening %d has no name", int(h))
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/branch"
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/perturb"
@@ -67,12 +68,31 @@ const (
 	VRSB
 	VSpecStoreOverflow
 	VBTB
+	// V2CrossTrain is canonical Spectre v2: the victim's indirect-call
+	// site is never executed with the gadget target — the injection comes
+	// from a *different* branch site whose PC is congruent in the tagged
+	// BTB (one AliasStride away), exactly the cross-training Kocher et
+	// al. describe. A full-tag BTB posture defeats it; same-site
+	// retraining (VBTB) survives full tags.
+	V2CrossTrain
+	// V4StoreBypass is Spectre v4 / speculative store bypass: a sanitizing
+	// store whose data is still in flight is bypassed by a younger load,
+	// which transiently observes the stale (secret) memory contents.
+	V4StoreBypass
 	numVariants
 )
 
-// Variants lists every implemented variant (the set the paper averages).
+// Variants lists the paper's averaged set (Fig. 5/6 and Table 1 are
+// means over these four). The v2/v4 extensions are deliberately *not*
+// members: adding them would silently shift every regenerated golden.
 func Variants() []Variant {
 	return []Variant{V1BoundsCheck, VRSB, VSpecStoreOverflow, VBTB}
+}
+
+// AllVariants lists every implemented variant, including the v2/v4
+// extensions the defense matrix sweeps.
+func AllVariants() []Variant {
+	return []Variant{V1BoundsCheck, VRSB, VSpecStoreOverflow, VBTB, V2CrossTrain, V4StoreBypass}
 }
 
 // String names the variant.
@@ -86,8 +106,62 @@ func (v Variant) String() string {
 		return "spec-store-overflow"
 	case VBTB:
 		return "btb"
+	case V2CrossTrain:
+		return "v2-cross-train"
+	case V4StoreBypass:
+		return "v4-store-bypass"
 	}
 	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Hardening selects a software mitigation the "compiler" applies to the
+// generated victim code — the Bălucea & Irofti catalog of source-level
+// Spectre defenses. Each transform rewrites only the code a real
+// compiler pass would touch, so a hardening seals exactly the variants
+// it addresses and leaves the rest leaking.
+type Hardening int
+
+// The implemented software mitigations.
+const (
+	HardenNone Hardening = iota
+	// HardenIndexMask clamps the attacker-controlled index with a
+	// bitmask before the dependent access (array-length masking).
+	HardenIndexMask
+	// HardenSLH is speculative load hardening: the index is ANDed with an
+	// all-ones/all-zero mask computed *data-dependently* from the bounds
+	// comparison, so the wrong path sees index 0.
+	HardenSLH
+	// HardenRetpoline replaces indirect calls with a return-trampoline
+	// thunk: the BTB is never consulted (or trained), and the RSB's
+	// misprediction lands in a capture loop.
+	HardenRetpoline
+	// HardenFence inserts LFENCEs at speculation-reachable points:
+	// after bounds checks, at return landing sites, and between a
+	// sanitizing store and its reload.
+	HardenFence
+	numHardenings
+)
+
+// Hardenings lists every software mitigation, including HardenNone.
+func Hardenings() []Hardening {
+	return []Hardening{HardenNone, HardenIndexMask, HardenSLH, HardenRetpoline, HardenFence}
+}
+
+// String names the hardening.
+func (h Hardening) String() string {
+	switch h {
+	case HardenNone:
+		return "none"
+	case HardenIndexMask:
+		return "index-mask"
+	case HardenSLH:
+		return "slh"
+	case HardenRetpoline:
+		return "retpoline"
+	case HardenFence:
+		return "fence"
+	}
+	return fmt.Sprintf("hardening(%d)", int(h))
 }
 
 // Config parameterises attack-binary generation.
@@ -123,6 +197,11 @@ type Config struct {
 	// process is elaborated in [3]"), which rides out lossy channels
 	// (co-tenant cache interference). 0 or 1 means a single round.
 	Rounds int
+	// Harden applies a software mitigation to the generated victim code
+	// (see Hardening). The attack side of the binary is left untouched:
+	// the mitigation models a defended *victim*, so a hardened binary
+	// still mounts the attack — against its own sealed gadget.
+	Harden Hardening
 	// HistoryMatched hardens the v1 mistraining against history-indexed
 	// predictors (gshare). The plain looped trainer fails there twice
 	// over: the loop's own branches desynchronise the global history
@@ -197,6 +276,10 @@ sm_done:
 		b.WriteString(c.leakSBO())
 	case VBTB:
 		b.WriteString(c.leakBTB())
+	case V2CrossTrain:
+		b.WriteString(c.leakV2())
+	case V4StoreBypass:
+		b.WriteString(c.leakV4())
 	default:
 		panic(fmt.Sprintf("spectre: unknown variant %d", int(c.Variant)))
 	}
@@ -308,6 +391,12 @@ bt_fnptr: .word 0
 .align 64
 bt_dummy: .byte 1
 .align 64
+v2_fnptr: .word 0
+.align 64
+v4_slot: .byte 0
+.align 64
+v4_zero: .word 0
+.align 64
 probe: .space 131072
 `
 
@@ -402,13 +491,37 @@ lb_smash_%d:
 		train = b.String()
 		preMalicious = smash(999)
 	}
+	// The victim-side mitigation sits between the bounds check and the
+	// dependent access — the only region a compiler pass rewrites.
+	harden := ""
+	switch c.Harden {
+	case HardenIndexMask:
+		// array[x & (len-1)]: the wrong path reads in-bounds garbage.
+		harden = "\tandi r1, r1, 3\n"
+	case HardenSLH:
+		// Speculative load hardening: mask = (x-len)>>63 extended to all
+		// ones iff the check really passed. The mask is a *data*
+		// dependency on the comparison operands, so the wrong path — which
+		// runs before the bound resolves — computes mask 0 and accesses
+		// index 0 instead of the secret.
+		harden = `	sub r2, r1, r4
+	shri r2, r2, 63
+	movi r3, 0
+	sub r2, r3, r2
+	and r1, r1, r2
+`
+	case HardenFence:
+		// The classic lfence-after-branch: the transient path cannot
+		// retire past the barrier.
+		harden = "\tlfence\n"
+	}
 	return `
 victim:               ; victim(r1=x): if x < arr1_size { probe[arr1[x]*512] }
 	movi r3, arr1_size
 	load r4, [r3]
 	cmp r1, r4
 	jae v_out
-	movi r5, arr1
+` + harden + `	movi r5, arr1
 	add r5, r5, r1
 	loadb r6, [r5]
 	shli r6, r6, 9
@@ -448,6 +561,14 @@ leak_byte:
 // transient path back to the call site — where the secret-dependent
 // gadget sits.
 func (c Config) leakRSB() string {
+	// Fence insertion guards the return landing site: the RSB's stale
+	// prediction lands on an LFENCE and the transient path dies there.
+	// Index masking, SLH and retpoline do not touch returns — the RSB
+	// variant sails past them.
+	harden := ""
+	if c.Harden == HardenFence {
+		harden = "\tlfence\n"
+	}
 	return `
 rsb_helper:
 	movi r3, rsb_safe
@@ -459,7 +580,7 @@ leak_byte:
 ` + flushProbeAsm + `
 	call rsb_helper
 rsb_landing:             ; executed only transiently
-	mov r5, r9
+` + harden + `	mov r5, r9
 	loadb r6, [r5]
 	shli r6, r6, 9
 	movi r7, probe
@@ -476,13 +597,27 @@ rsb_safe:
 // victim's own saved return address; the victim's RET then speculatively
 // enters the gadget.
 func (c Config) leakSBO() string {
+	harden := ""
+	switch c.Harden {
+	case HardenIndexMask:
+		harden = "\tandi r1, r1, 3\n"
+	case HardenSLH:
+		harden = `	sub r7, r1, r6
+	shri r7, r7, 63
+	movi r5, 0
+	sub r7, r5, r7
+	and r1, r1, r7
+`
+	case HardenFence:
+		harden = "\tlfence\n"
+	}
 	return `
 victim_sbo:           ; victim_sbo(r1=idx, r2=val): if idx < sbo_size { sbo_buf[idx] = val }
 	movi r5, sbo_size
 	load r6, [r5]
 	cmp r1, r6
 	jae vs_out
-	movi r5, sbo_buf
+` + harden + `	movi r5, sbo_buf
 	mov r7, r1
 	shli r7, r7, 3
 	add r5, r5, r7
@@ -533,6 +668,38 @@ vs_train:
 // its cache line flushed; the stale BTB entry steers the transient path
 // into the gadget with the real secret address in r9.
 func (c Config) leakBTB() string {
+	// Retpoline rewrites the dispatch: the indirect transfer becomes a
+	// CALL/overwrite/RET trampoline. No CALLR ever retires, so the BTB is
+	// neither trained nor consulted; the RET's RSB misprediction lands in
+	// the capture loop (and its stack slot is L1-hot, so the core never
+	// even speculates). Fences cannot help here — the transient path runs
+	// entirely inside the attacker-chosen gadget.
+	dispatch := `
+bt_dispatch:             ; the single indirect call site the BTB learns
+	movi r3, bt_fnptr
+	load r5, [r3]
+	callr r5
+	lfence               ; keep any transient path out of the caller
+	ret
+`
+	if c.Harden == HardenRetpoline {
+		dispatch = `
+bt_dispatch:             ; retpolined: the CALLR becomes a thunk call
+	movi r3, bt_fnptr
+	load r5, [r3]
+	call bt_thunk_r5
+	lfence
+	ret
+
+bt_thunk_r5:             ; retpoline thunk for r5
+	call bt_thunk_setup
+bt_thunk_capture:
+	jmp bt_thunk_capture ; transient RSB prediction parks here
+bt_thunk_setup:
+	store [sp], r5       ; redirect the architectural return to the target
+	ret
+`
+	}
 	return `
 btb_gadget:
 	loadb r6, [r9]
@@ -544,14 +711,7 @@ btb_gadget:
 
 bt_benign:
 	ret
-
-bt_dispatch:             ; the single indirect call site the BTB learns
-	movi r3, bt_fnptr
-	load r5, [r3]
-	callr r5
-	lfence               ; keep any transient path out of the caller
-	ret
-
+` + dispatch + `
 leak_byte:
 ` + flushProbeAsm + `
 	mov r13, r9          ; save the real target
@@ -575,5 +735,131 @@ bt_train:
 	mov r9, r13          ; restore the real target
 	call bt_dispatch     ; stale BTB entry steers the transient path
 	                     ; into btb_gadget with the secret in r9
+` + c.probeScanAsm()
+}
+
+// leakV2 is canonical Spectre v2 cross-training: the victim's indirect
+// call site is only ever executed with benign targets — the gadget
+// address enters its BTB entry from a *different* site, placed exactly
+// branch.DefaultAliasStride bytes earlier so the two sites collide on
+// both index and partial tag. A NOP sled pins the geometry. Full-tag
+// BTB postures break the aliasing and seal the variant; retpoline
+// removes the indirect branch altogether.
+func (c Config) leakV2() string {
+	// Distance from v2_trainsite's CALLR to v2_victimsite's CALLR must be
+	// exactly the alias stride: 3 trainsite slots + N NOPs + 2 victimsite
+	// prologue slots.
+	const slot = 16 // isa.InstrSize
+	nops := int(branch.DefaultAliasStride)/slot - 5
+	sled := strings.Repeat("\tnop\n", nops)
+
+	trainsite := `
+v2_trainsite:            ; attacker-side congruent dispatch site
+	callr r5
+	lfence
+	ret
+`
+	victimsite := `
+v2_victimsite:           ; victim dispatch: never trained with the gadget
+	movi r3, v2_fnptr
+	load r5, [r3]
+	callr r5             ; BTB-congruent with v2_trainsite's CALLR
+	lfence
+	ret
+`
+	if c.Harden == HardenRetpoline {
+		trainsite = `
+v2_trainsite:            ; retpolined: no CALLR retires anywhere
+	call v2_thunk_r5
+	lfence
+	ret
+`
+		victimsite = `
+v2_victimsite:
+	movi r3, v2_fnptr
+	load r5, [r3]
+	call v2_thunk_r5
+	lfence
+	ret
+
+v2_thunk_r5:             ; shared retpoline thunk for r5
+	call v2_thunk_setup
+v2_thunk_capture:
+	jmp v2_thunk_capture
+v2_thunk_setup:
+	store [sp], r5
+	ret
+`
+	}
+	return `
+v2_gadget:               ; the disclosure gadget the attacker injects
+	loadb r6, [r9]
+	shli r6, r6, 9
+	movi r7, probe
+	add r7, r7, r6
+	loadb r8, [r7]
+	ret
+
+v2_benign:               ; the only target the victim site ever takes
+	ret
+` + trainsite + sled + victimsite + `
+leak_byte:
+` + flushProbeAsm + `
+	mov r13, r9          ; save the real target
+	movi r9, bt_dummy    ; train with a harmless address (value 1)
+	movi r5, v2_gadget
+	movi r11, 3
+v2_train:
+	call v2_trainsite    ; retires CALLR->v2_gadget at the aliasing site
+	subi r11, r11, 1
+	cmpi r11, 0
+	jne v2_train
+	movi r5, probe+512   ; evict the training touch (dummy value 1)
+	clflush [r5]
+	movi r3, v2_fnptr
+	movi r4, v2_benign
+	store [r3], r4
+	clflush [r3]         ; the victim's target load resolves slowly
+	mfence
+	mov r9, r13          ; restore the real target
+	call v2_victimsite   ; cross-trained BTB entry steers the transient
+	                     ; path into v2_gadget with the secret in r9
+` + c.probeScanAsm()
+}
+
+// leakV4 is Spectre v4 / speculative store bypass: a dead secret is
+// staged in reused private memory, a sanitizing store of zero is issued
+// whose *data* arrives late, and the reload speculatively bypasses the
+// not-yet-visible store — transiently observing the stale secret and
+// transmitting it into the probe array. The load retires with the
+// correct zero, so the leak is purely micro-architectural. An LFENCE
+// between store and load (fence insertion), SSBD, or InvisiSpec-style
+// fill squashing seals it; masking, SLH and retpoline are blind to it.
+func (c Config) leakV4() string {
+	harden := ""
+	if c.Harden == HardenFence {
+		harden = "\tlfence\n"
+	}
+	return `
+leak_byte:
+` + flushProbeAsm + `
+	loadb r2, [r9]       ; stage: the dead secret sits in reused memory
+	movi r3, v4_slot
+	storeb [r3], r2
+	mfence
+	movi r4, v4_zero
+	clflush [r4]
+	mfence
+	load r6, [r4]        ; the sanitizing zero arrives from DRAM
+	storeb [r3], r6      ; sanitize the slot — data still in flight
+` + harden + `	loadb r7, [r3]       ; speculatively bypasses the store: stale secret
+	shli r7, r7, 9
+	movi r8, probe
+	add r8, r8, r7
+	loadb r8, [r8]       ; transient transmit of the stale value
+	lfence
+	movi r8, probe
+	clflush [r8]         ; evict the architectural (r7=0) touch
+	mfence
 ` + c.probeScanAsm()
 }

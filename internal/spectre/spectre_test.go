@@ -167,11 +167,11 @@ func TestResumePathEmitted(t *testing.T) {
 }
 
 func TestVariantStringAndList(t *testing.T) {
-	if len(Variants()) != int(numVariants) {
-		t.Errorf("Variants() lists %d of %d", len(Variants()), numVariants)
+	if len(AllVariants()) != int(numVariants) {
+		t.Errorf("AllVariants() lists %d of %d", len(AllVariants()), numVariants)
 	}
 	seen := map[string]bool{}
-	for _, v := range Variants() {
+	for _, v := range AllVariants() {
 		s := v.String()
 		if seen[s] {
 			t.Errorf("duplicate variant name %q", s)

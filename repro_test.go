@@ -136,7 +136,7 @@ func TestFacadeExtensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 12 {
+	if len(rows) != 22 {
 		t.Errorf("defense matrix rows = %d", len(rows))
 	}
 	o := Options{SamplesPerClass: 60, Secret: "ABCD", Classifiers: []string{"lr"}, Seed: 2, Interval: 10_000}
