@@ -61,6 +61,9 @@ func run(args []string, stdout io.Writer) (err error) {
 		traceOut  = fs.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
 		eventsOut = fs.String("trace-events", "", "write the raw JSONL event log to this file")
 		manifest  = fs.String("manifest", "", "write a run manifest (config, seeds, build, metrics) to this file")
+
+		noblocks    = fs.Bool("noblocks", false, "disable the superblock tier (single-step through the predecode cache)")
+		nopredecode = fs.Bool("nopredecode", false, "disable the predecode cache too (bare interpreter; implies -noblocks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,15 +106,17 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 
 	rep, err := repro.RunAttack(repro.AttackOptions{
-		Host:      *host,
-		Variant:   *variant,
-		Secret:    *secret,
-		Perturbed: *perturb,
-		Detector:  *detector,
-		Seed:      *seed,
-		Workers:   *workers,
-		Telemetry: rec,
-		Metrics:   reg,
+		Host:        *host,
+		Variant:     *variant,
+		Secret:      *secret,
+		Perturbed:   *perturb,
+		Detector:    *detector,
+		Seed:        *seed,
+		Workers:     *workers,
+		Telemetry:   rec,
+		Metrics:     reg,
+		NoBlocks:    *noblocks,
+		NoPredecode: *nopredecode,
 	})
 	if err != nil {
 		return err

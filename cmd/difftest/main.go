@@ -5,8 +5,12 @@
 // from a fixed ring (speculation on/off, InvisiSpec, conditional fencing,
 // tiny windows, gshare, cache noise, privileged flush), and lock-steps
 // the two implementations, comparing registers, flags, PC, and dirtied
-// memory at every retire. On divergence the program is shrunk to the
-// shortest failing prefix and a repro report is written.
+// memory at every retire. Each clean shard is then re-run through the
+// block-tier differential (oracle.RunTierDiff), which holds the
+// superblock tier to the harsher cycle-exact contract against the
+// single-step interpreter; -noblocks/-nopredecode skip that axis. On
+// divergence the program is shrunk to the shortest failing prefix and a
+// repro report is written.
 //
 // Usage:
 //
@@ -81,6 +85,7 @@ type shardResult struct {
 	faulted bool
 	budget  bool
 	div     *oracle.Divergence
+	tierDiv *oracle.Divergence
 	prog    progen.Program
 }
 
@@ -96,6 +101,9 @@ func run(args []string, stdout io.Writer) error {
 		reproOut = fs.String("repro", "", "also write the minimized repro report to this file")
 		selftest = fs.Bool("selftest", false, "inject a fast-path bug and require catch + minimize, then exit")
 		verbose  = fs.Bool("v", false, "per-wave progress")
+
+		noblocks    = fs.Bool("noblocks", false, "disable the superblock tier (also skips the per-shard tier diff)")
+		nopredecode = fs.Bool("nopredecode", false, "disable the predecode cache (implies the bare interpreter; also disables blocks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +111,7 @@ func run(args []string, stdout io.Writer) error {
 	if *selftest {
 		return runSelftest(stdout)
 	}
+	tierDiff := !*noblocks && !*nopredecode
 
 	start := time.Now()
 	deadline := time.Duration(float64(time.Minute) * *minutes)
@@ -134,11 +143,21 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return shardResult{}, fmt.Errorf("shard %d (seed %d): %w", shard, s, err)
 			}
-			return shardResult{
+			sr := shardResult{
 				seed: s, config: ring.name, steps: res.Steps,
 				halted: res.Halted, faulted: res.Fault != nil, budget: res.BudgetExhausted,
 				div: res.Div, prog: p,
-			}, nil
+			}
+			// Same program, second axis: superblock tier vs single-step
+			// under the cycle-exact tier contract (DESIGN.md §11).
+			if tierDiff && sr.div == nil {
+				tres, err := oracle.RunTierDiff(p, ring.cfg, *maxInstr, 0, nil)
+				if err != nil {
+					return shardResult{}, fmt.Errorf("shard %d (seed %d) tier diff: %w", shard, s, err)
+				}
+				sr.tierDiv = tres.Div
+			}
+			return sr, nil
 		})
 		if err != nil {
 			return err
@@ -149,6 +168,8 @@ func run(args []string, stdout io.Writer) error {
 			switch {
 			case r.div != nil:
 				return reportDivergence(stdout, *reproOut, r, *maxInstr)
+			case r.tierDiv != nil:
+				return reportTierDivergence(stdout, *reproOut, r, *maxInstr)
 			case r.halted:
 				halted++
 			case r.faulted:
@@ -164,8 +185,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	elapsed := time.Since(start).Seconds()
-	fmt.Fprintf(stdout, "difftest: %d programs (%d halted, %d faulted, %d budget-capped), %d instr pairs, %.1fs, divergences: 0\n",
-		total, halted, faulted, budget, instret, elapsed)
+	mode := "on"
+	if !tierDiff {
+		mode = "off"
+	}
+	fmt.Fprintf(stdout, "difftest: %d programs (%d halted, %d faulted, %d budget-capped), %d instr pairs, tier-diff %s, %.1fs, divergences: 0\n",
+		total, halted, faulted, budget, instret, mode, elapsed)
 	return nil
 }
 
@@ -194,6 +219,35 @@ func reportDivergence(stdout io.Writer, reproPath string, r shardResult, maxInst
 		}
 	}
 	return fmt.Errorf("difftest: divergence on seed %d (config %s)", r.seed, r.config)
+}
+
+// reportTierDivergence is reportDivergence for the block-tier axis: the
+// optimized core agreed with the reference interpreter but disagreed
+// with itself once superblocks were enabled. Minimization goes through
+// the tier harness so the repro stays a two-tier one.
+func reportTierDivergence(stdout io.Writer, reproPath string, r shardResult, maxInstr uint64) error {
+	ring := cpu.DefaultConfig()
+	for _, c := range configRing {
+		if c.name == r.config {
+			ring = c.cfg
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "TIER DIVERGENCE seed=%d config=%s (blocks vs single-step)\n%v\n", r.seed, r.config, r.tierDiv)
+	if min, n, mres, ok := oracle.MinimizeTier(r.prog, ring, maxInstr, 0, nil); ok {
+		fmt.Fprintf(&b, "minimized to %d instructions:\n%s%v\n", n, min.Disasm(n), mres.Div)
+	} else {
+		fmt.Fprintf(&b, "minimization failed to reproduce; full program (%d instructions):\n%s",
+			r.prog.NumInstr, r.prog.Disasm(0))
+	}
+	report := b.String()
+	fmt.Fprint(stdout, report)
+	if reproPath != "" {
+		if err := os.WriteFile(reproPath, []byte(report), 0o644); err != nil {
+			return fmt.Errorf("difftest: tier divergence found, and writing repro failed: %w", err)
+		}
+	}
+	return fmt.Errorf("difftest: block-tier divergence on seed %d (config %s)", r.seed, r.config)
 }
 
 // runSelftest proves the harness end to end: it injects silent
@@ -232,6 +286,48 @@ func runSelftest(stdout io.Writer) error {
 		fmt.Fprintf(stdout, "selftest %s: corruption at instr %d caught (%d reasons) and minimized to %d instructions\n",
 			sc.name, badIdx, len(res.Div.Reasons), n)
 	}
+	return runTierSelftest(stdout)
+}
+
+// runTierSelftest proves the block-tier axis of the harness the same
+// way: a slice hook models a broken superblock that silently clobbers a
+// register the program never writes, and the tier diff must catch the
+// skew and MinimizeTier must shrink the repro past the padding tail.
+func runTierSelftest(stdout io.Writer) error {
+	const sliceInstr = 4
+	instrs := []isa.Instruction{
+		{Op: isa.MOVI, Rd: 1, Imm: 7},
+	}
+	for i := 0; i < 48; i++ {
+		instrs = append(instrs, isa.Instruction{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 1})
+	}
+	instrs = append(instrs, isa.Instruction{Op: isa.HALT})
+	p, err := progen.Craft(instrs, nil, false)
+	if err != nil {
+		return err
+	}
+	pre := func(slice uint64, blocks, _ *cpu.CPU) {
+		if slice == 1 {
+			blocks.Regs[5] ^= 0xdead // r5 is never architecturally written
+		}
+	}
+	cfg := cpu.DefaultConfig()
+	res, err := oracle.RunTierDiff(p, cfg, 100_000, sliceInstr, pre)
+	if err != nil {
+		return err
+	}
+	if res.Clean() {
+		return fmt.Errorf("difftest: selftest block-tier: injected register skew was NOT detected")
+	}
+	_, n, mres, ok := oracle.MinimizeTier(p, cfg, 100_000, sliceInstr, pre)
+	if !ok || mres.Clean() {
+		return fmt.Errorf("difftest: selftest block-tier: minimizer failed to reproduce the divergence")
+	}
+	if n > 16 {
+		return fmt.Errorf("difftest: selftest block-tier: minimized to %d instructions, want <= 16", n)
+	}
+	fmt.Fprintf(stdout, "selftest block-tier: slice-injected skew caught (%d reasons) and minimized to %d instructions\n",
+		len(res.Div.Reasons), n)
 	return nil
 }
 

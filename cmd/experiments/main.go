@@ -68,6 +68,9 @@ func run(args []string, stdout io.Writer) (err error) {
 		traceOut  = fs.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
 		eventsOut = fs.String("trace-events", "", "write the raw JSONL event log to this file")
 		manifest  = fs.String("manifest", "", "write a run manifest to this file (default <csvdir>/manifest.json when -csvdir is set)")
+
+		noblocks    = fs.Bool("noblocks", false, "disable the superblock tier (results identical, wall-clock slower)")
+		nopredecode = fs.Bool("nopredecode", false, "disable the predecode cache too (bare interpreter; implies -noblocks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +96,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	cfg.Seed = *seed
 	cfg.Reps = *reps
 	cfg.Workers = *workers
+	cfg.CPU.NoBlocks = *noblocks
+	cfg.CPU.NoPredecode = *nopredecode
 
 	// Telemetry sinks share one recorder/registry across every section
 	// the invocation runs; the manifest then carries the aggregate

@@ -214,7 +214,8 @@ func run(args []string, stdout io.Writer) error {
 		100*hid.EvadeThreshold, 100*hid.DetectThreshold)
 
 	b.WriteString("\n## Simulator throughput\n\nHost-side benchmark numbers " +
-		"(before/after the predecode cache and memory fast paths) are " +
+		"(per execution tier: superblock, predecode single-step, bare " +
+		"interpreter) are " +
 		"tracked in [BENCH_simulator.json](../BENCH_simulator.json); the " +
 		"optimisation is timing-model neutral, so every figure above is " +
 		"unchanged by it.\n")

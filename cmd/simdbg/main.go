@@ -19,6 +19,10 @@ import (
 	"os"
 	"time"
 
+	"io"
+	"sort"
+
+	"repro/internal/cpu"
 	"repro/internal/debug"
 	"repro/internal/gadget"
 	"repro/internal/mibench"
@@ -36,6 +40,7 @@ func main() {
 		events   = flag.Int("events", 25, "telemetry events to dump at each stop")
 		budget   = flag.Uint64("budget", 200_000_000, "instruction budget")
 		watchRet = flag.Bool("watchret", false, "watch the saved-return-address slot and report who wrote it")
+		blocks   = flag.Bool("blocks", false, "run hook-free and dump the superblock cache (tier introspection; ignores -break/-watchret)")
 
 		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace of the session to this file")
 		eventsOut = flag.String("trace-events", "", "write the raw JSONL event log to this file")
@@ -96,6 +101,26 @@ func main() {
 	}
 	if err := m.Start(host.Name); err != nil {
 		fatal(err)
+	}
+
+	if *blocks {
+		// Tier introspection: per-instruction debug hooks (OnRetire)
+		// force the single-step interpreter, so a -blocks session runs
+		// bare and attaches symbols only afterwards, for the dump.
+		runErr := m.CPU.Run(*budget)
+		d := debug.Attach(m.CPU, 16)
+		d.AddSymbols(img.Symbols)
+		if aimg, ok := m.Image("crspectre"); ok {
+			d.AddSymbols(aimg.Symbols)
+		}
+		if runErr != nil && runErr != cpu.ErrBudget {
+			fmt.Printf("stopped: %v\n", runErr)
+		} else {
+			fmt.Printf("program %s\n", map[bool]string{true: "halted", false: "hit the budget"}[m.CPU.Halted()])
+			fmt.Printf("output: %q\n", m.Output.String())
+		}
+		dumpBlocks(os.Stdout, d, m.CPU)
+		return
 	}
 
 	d := debug.Attach(m.CPU, 4096)
@@ -178,6 +203,31 @@ func main() {
 			export()
 			os.Exit(1)
 		}
+	}
+}
+
+// dumpBlocks renders the live superblock cache hottest-first: which
+// guest regions compiled, how they exit, and how much execution they
+// absorbed (DESIGN.md §11's introspection surface).
+func dumpBlocks(w io.Writer, d *debug.Debugger, c *cpu.CPU) {
+	st := c.BlockStats()
+	fmt.Fprintf(w, "\nblock cache: %d compiled, %d hits, %d invalidations\n",
+		st.Compiled, st.Hits, st.Invalidations)
+	infos := c.Blocks()
+	sort.SliceStable(infos, func(i, j int) bool { return infos[i].Hits > infos[j].Hits })
+	for _, b := range infos {
+		tags := ""
+		if b.Fused {
+			tags += " fused"
+		}
+		if !b.Valid {
+			tags += " stale"
+		}
+		if b.Instrs == 0 {
+			tags += " uncompilable"
+		}
+		fmt.Fprintf(w, "  %#x..%#x  %-28s %2d instrs  exit %-11s hits %-9d%s\n",
+			b.StartPC, b.EndPC, d.Symbolize(b.StartPC), b.Instrs, b.Exit, b.Hits, tags)
 	}
 }
 

@@ -1,0 +1,423 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/telemetry"
+)
+
+// TestBlockTierEngages: the default core must actually run the
+// arithmetic loop through the block cache — compiled blocks, cache hits,
+// a fused CMP+Jcc exit — and still retire the same answer.
+func TestBlockTierEngages(t *testing.T) {
+	src := `
+		movi r1, 1000
+		movi r2, 0
+	loop:
+		add r2, r2, r1
+		subi r1, r1, 1
+		cmpi r1, 0
+		jne loop
+		halt
+	`
+	c, _ := load(t, src, DefaultConfig())
+	mustRun(t, c, 100000)
+	if c.Regs[2] != 500500 {
+		t.Errorf("sum = %d, want 500500", c.Regs[2])
+	}
+	st := c.BlockStats()
+	if st.Compiled == 0 || st.Hits == 0 {
+		t.Fatalf("block tier did not engage: %+v", st)
+	}
+	var fused bool
+	for _, b := range c.Blocks() {
+		if b.Fused {
+			fused = true
+			if b.Instrs < 2 {
+				t.Errorf("fused block retires %d instructions, want >= 2", b.Instrs)
+			}
+		}
+	}
+	if !fused {
+		t.Errorf("loop exit was not compiled as a fused CMP+Jcc: %+v", c.Blocks())
+	}
+
+	// Step() must stay on the single-step interpreter: a freshly loaded
+	// twin stepped to completion sees no block activity.
+	c2, _ := load(t, src, DefaultConfig())
+	for i := 0; i < 100 && !c2.Halted(); i++ {
+		if err := c2.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st2 := c2.BlockStats(); st2 != (BlockStats{}) {
+		t.Errorf("Step() engaged the block tier: %+v", st2)
+	}
+}
+
+// TestBlockSelfModifyingOwnPage: a store inside a block overwrites the
+// immediate of a *later instruction of the same block*. The single-step
+// interpreter naturally executes the new bytes (its predecode slots are
+// generation-checked per instruction); the block tier must detect that
+// the store dirtied its own page mid-block and fall back rather than
+// retire the stale cached decode.
+func TestBlockSelfModifyingOwnPage(t *testing.T) {
+	src := `
+	.entry main
+	main:
+		movi r1, patchme
+		movi r2, 99
+		store [r1+4], r2   ; rewrite the imm field of "movi r3, 1"
+	patchme:
+		movi r3, 1
+		halt
+	`
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"blocks", DefaultConfig()},
+		{"noblocks", func() Config { c := DefaultConfig(); c.NoBlocks = true; return c }()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := loadRWX(t, src, tc.cfg)
+			mustRun(t, c, 1000)
+			if c.Regs[3] != 99 {
+				t.Fatalf("r3 = %d, want 99 (stale cached decode executed)", c.Regs[3])
+			}
+		})
+	}
+}
+
+// TestBlockSelfModifyingLoop: the harder variant — a loop that patches
+// its own body every iteration, so the block covering it is invalidated
+// and recompiled over and over. Both tiers must agree on the final
+// state, and the block core must report invalidations.
+func TestBlockSelfModifyingLoop(t *testing.T) {
+	src := `
+	.entry main
+	main:
+		movi r1, slot
+		movi r4, 0
+		movi r5, 10
+	loop:
+		load r2, [r1+4]
+		addi r2, r2, 1
+		store [r1+4], r2   ; bump the imm the next iteration will execute
+	slot:
+		movi r3, 0
+		add r4, r4, r3
+		subi r5, r5, 1
+		cmpi r5, 0
+		jne loop
+		halt
+	`
+	run := func(noBlocks bool) *CPU {
+		cfg := DefaultConfig()
+		cfg.NoBlocks = noBlocks
+		c, _ := loadRWX(t, src, cfg)
+		mustRun(t, c, 10000)
+		return c
+	}
+	cb, cs := run(false), run(true)
+	if cb.Regs[4] != cs.Regs[4] || cb.Regs[3] != cs.Regs[3] {
+		t.Fatalf("tiers disagree: blocks r3=%d r4=%d, single-step r3=%d r4=%d",
+			cb.Regs[3], cb.Regs[4], cs.Regs[3], cs.Regs[4])
+	}
+	if cb.Cycle != cs.Cycle || cb.Snapshot() != cs.Snapshot() {
+		t.Fatalf("tiers disagree on the machine: blocks %+v, single-step %+v",
+			cb.Snapshot(), cs.Snapshot())
+	}
+	if st := cb.BlockStats(); st.Invalidations == 0 {
+		t.Errorf("self-patching loop caused no block invalidations: %+v", st)
+	}
+}
+
+// TestBlockProtectFlip: a Protect change (here via a syscall handler,
+// the only reach a guest has) bumps the page generations; a block whose
+// permissions merely widened revalidates byte-for-byte and keeps
+// running, while a page made non-executable must fault exactly like the
+// single-step interpreter.
+func TestBlockProtectFlip(t *testing.T) {
+	src := `
+	.entry main
+	main:
+		movi r1, 5
+		syscall
+	after:
+		addi r1, r1, 1
+		addi r1, r1, 2
+		halt
+	`
+	t.Run("widen", func(t *testing.T) {
+		c, img := load(t, src, DefaultConfig())
+		c.OnSyscall = func(c *CPU) error {
+			return c.Mem.Protect(img.Base, uint64(len(img.Code)), mem.PermRWX)
+		}
+		mustRun(t, c, 1000)
+		if c.Regs[1] != 8 {
+			t.Fatalf("r1 = %d, want 8", c.Regs[1])
+		}
+	})
+	t.Run("revoke-exec", func(t *testing.T) {
+		run := func(noBlocks bool) error {
+			cfg := DefaultConfig()
+			cfg.NoBlocks = noBlocks
+			c, img := load(t, src, cfg)
+			c.OnSyscall = func(c *CPU) error {
+				return c.Mem.Protect(img.Base, uint64(len(img.Code)), mem.PermRW)
+			}
+			return c.Run(1000)
+		}
+		errB, errS := run(false), run(true)
+		if errB == nil || errS == nil {
+			t.Fatalf("revoked execute permission did not fault: blocks=%v single-step=%v", errB, errS)
+		}
+		if errB.Error() != errS.Error() {
+			t.Fatalf("tiers fault differently:\n  blocks:      %v\n  single-step: %v", errB, errS)
+		}
+	})
+}
+
+// TestBlockStraddlesPageBoundary: a block whose bytes span two code
+// pages must be invalidated by a write to either page. The loop body is
+// positioned across the first page boundary with NOP padding, and the
+// program patches an instruction on the *second* page.
+func TestBlockStraddlesPageBoundary(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(".entry main\nmain:\n")
+	// 16-byte instructions, 4096-byte pages: after 250 NOPs plus the
+	// 3-instruction prologue the loop starts at instruction 253 of 256,
+	// so its body crosses into the second page.
+	sb.WriteString("\tmovi r1, slot\n\tmovi r4, 0\n\tmovi r5, 6\n")
+	for i := 0; i < 250; i++ {
+		sb.WriteString("\tnop\n")
+	}
+	sb.WriteString(`
+	loop:
+		load r2, [r1+4]
+		addi r2, r2, 1
+		store [r1+4], r2
+	slot:
+		movi r3, 0
+		add r4, r4, r3
+		subi r5, r5, 1
+		cmpi r5, 0
+		jne loop
+		halt
+	`)
+	run := func(noBlocks bool) *CPU {
+		cfg := DefaultConfig()
+		cfg.NoBlocks = noBlocks
+		c, img := loadRWX(t, sb.String(), cfg)
+		if img.MustSymbol("loop")/mem.PageSize == img.MustSymbol("slot")/mem.PageSize {
+			t.Fatalf("layout broken: loop (%#x) and slot (%#x) on the same page",
+				img.MustSymbol("loop"), img.MustSymbol("slot"))
+		}
+		mustRun(t, c, 10000)
+		return c
+	}
+	cb, cs := run(false), run(true)
+	if cb.Regs[4] != cs.Regs[4] {
+		t.Fatalf("tiers disagree: blocks r4=%d, single-step r4=%d", cb.Regs[4], cs.Regs[4])
+	}
+	if cb.Snapshot() != cs.Snapshot() {
+		t.Fatalf("tiers disagree on the machine:\nblocks:      %+v\nsingle-step: %+v",
+			cb.Snapshot(), cs.Snapshot())
+	}
+	var straddling bool
+	for _, b := range cb.Blocks() {
+		if b.StartPC/mem.PageSize != (b.EndPC-1)/mem.PageSize {
+			straddling = true
+		}
+	}
+	if !straddling {
+		t.Error("no compiled block straddles a page boundary; the test lost its setup")
+	}
+	if st := cb.BlockStats(); st.Invalidations == 0 {
+		t.Errorf("patching the straddled page caused no invalidations: %+v", st)
+	}
+}
+
+// TestBlockChaining: a tight loop must settle into chained dispatch —
+// block-cache hits far outnumber compiles — and the introspection
+// surface must report the loop block as hot and currently valid.
+func TestBlockChaining(t *testing.T) {
+	c, _ := load(t, `
+		movi r1, 5000
+	loop:
+		subi r1, r1, 1
+		cmpi r1, 0
+		jne loop
+		halt
+	`, DefaultConfig())
+	mustRun(t, c, 100000)
+	st := c.BlockStats()
+	if st.Compiled == 0 || st.Hits < 4000 {
+		t.Fatalf("loop did not settle into cached dispatch: %+v", st)
+	}
+	blocks := c.Blocks()
+	var hot *BlockInfo
+	for i := range blocks {
+		if blocks[i].Hits > 1000 {
+			hot = &blocks[i]
+		}
+	}
+	if hot == nil {
+		t.Fatalf("no hot block in %+v", blocks)
+	}
+	if !hot.Valid || !hot.Fused || hot.Exit != "cmp+cond" {
+		t.Errorf("hot loop block mis-described: %+v", *hot)
+	}
+}
+
+// TestBlockTelemetryEquivalence: a telemetry-enabled core stays on the
+// block tier, and its event stream — retire order, event cycles, probe
+// classifications — is identical to the single-step interpreter's.
+func TestBlockTelemetryEquivalence(t *testing.T) {
+	src := `
+		movi r1, arr
+		movi r2, 40
+		movi r5, 0
+	loop:
+		load r3, [r1+8]
+		store [r1+16], r3
+		add r5, r5, r3
+		clflush [r1+8]
+		subi r2, r2, 1
+		cmpi r2, 0
+		jne loop
+		halt
+	.data
+	arr: .space 64
+	`
+	run := func(noBlocks bool) []telemetry.Event {
+		cfg := DefaultConfig()
+		cfg.NoBlocks = noBlocks
+		c, _ := load(t, src, cfg)
+		rec := telemetry.NewRecorder(1 << 16)
+		c.AttachTelemetry(rec)
+		mustRun(t, c, 100000)
+		if !noBlocks {
+			if st := c.BlockStats(); st.Hits == 0 {
+				t.Fatalf("telemetry run left the block tier: %+v", st)
+			}
+		}
+		return rec.Events()
+	}
+	evB, evS := run(false), run(true)
+	if len(evB) != len(evS) {
+		t.Fatalf("event counts differ: blocks=%d single-step=%d", len(evB), len(evS))
+	}
+	for i := range evB {
+		if evB[i] != evS[i] {
+			t.Fatalf("event %d differs:\nblocks:      %+v\nsingle-step: %+v", i, evB[i], evS[i])
+		}
+	}
+}
+
+// TestBlockRunZeroAlloc is the tentpole's zero-allocation gate: once the
+// loop's blocks are compiled, steady-state Run must not allocate — not
+// for dispatch, not for speculation episodes (pooled specState), not for
+// store-bypass tracking. The workload deliberately includes a
+// mispredicting data-dependent branch (speculation episodes every few
+// iterations) and an in-flight store feeding a reload (the v4
+// store-buffer machinery).
+func TestBlockRunZeroAlloc(t *testing.T) {
+	c, img := load(t, `
+		movi r1, arr
+	loop:
+		clflush [r1+8]      ; force a miss: the next load lands late
+		load r3, [r1+8]
+		store [r1+16], r3   ; r3 still in flight: pending-store tracking
+		load r4, [r1+16]    ; reload in the bypass window
+		cmpi r3, 0          ; flags depend on the missed load: unresolved
+		jl skip             ; LCG sign bit: mispredicts, squashes episodes
+		addi r5, r5, 1
+	skip:
+		load r9, [r1+8]
+		muli r9, r9, 25214903917
+		addi r9, r9, 11     ; step the LCG the next iteration branches on
+		store [r1+8], r9
+		jmp loop
+	.data
+	arr: .space 64
+	`, DefaultConfig())
+	// Warm-up: compile the blocks, train the predictors, populate the
+	// store-buffer scratch. ErrBudget is the expected outcome.
+	if err := c.Run(20_000); err != ErrBudget {
+		t.Fatalf("warm-up: %v", err)
+	}
+	// A Run budget can stop execution at any instruction, making that PC
+	// a block start the next Run compiles lazily — a bounded, amortized
+	// cost, but this gate wants a closed steady state, so compile every
+	// possible entry point up front.
+	for pc := img.Base; pc < img.Base+uint64(len(img.Code)); pc += isa.InstrSize {
+		c.lookupBlock(pc)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if err := c.Run(50_000); err != ErrBudget {
+			t.Fatalf("steady state: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Run allocates %.1f objects per call, want 0", avg)
+	}
+	if st := c.BlockStats(); st.Hits == 0 {
+		t.Fatalf("zero-alloc gate measured the wrong tier: %+v", st)
+	}
+	if c.Snapshot().Squashes == 0 {
+		t.Fatal("workload produced no speculation squashes; the gate is not covering episodes")
+	}
+}
+
+// TestBlockBudgetExactness: Run(n) on the block tier retires exactly n
+// instructions (blocks bigger than the remaining budget are
+// single-stepped), so sliced execution matches one long run.
+func TestBlockBudgetExactness(t *testing.T) {
+	src := `
+		movi r1, 0
+	loop:
+		addi r1, r1, 1
+		addi r2, r2, 2
+		addi r3, r3, 3
+		cmpi r1, 100000
+		jne loop
+		halt
+	`
+	c, _ := load(t, src, DefaultConfig())
+	var steps uint64
+	for slice := uint64(1); !c.Halted(); slice = slice*3 + 1 {
+		err := c.Run(slice)
+		if err != nil && err != ErrBudget {
+			t.Fatal(err)
+		}
+		want := steps + slice
+		if err == ErrBudget && c.Instret() != want {
+			t.Fatalf("Run(%d) after %d retired %d instructions, want exactly %d",
+				slice, steps, c.Instret()-steps, slice)
+		}
+		steps = c.Instret()
+	}
+	long, _ := load(t, src, DefaultConfig())
+	mustRun(t, long, 10_000_000)
+	if c.Cycle != long.Cycle || c.Snapshot() != long.Snapshot() {
+		t.Fatalf("sliced run diverged from one-shot run:\nsliced:   %+v\none-shot: %+v",
+			c.Snapshot(), long.Snapshot())
+	}
+}
+
+// TestBlockKindLabels pins the BlockInfo exit labels the simdbg -blocks
+// dump prints.
+func TestBlockKindLabels(t *testing.T) {
+	kinds := []blockKind{termNone, termJmp, termCond, termFused, termCall,
+		termCallr, termJmpr, termRet, termHalt, termUncompilable}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || s == "?" {
+			t.Errorf("blockKind %d has no label", k)
+		}
+	}
+}

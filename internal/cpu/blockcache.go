@@ -1,0 +1,318 @@
+// The block-compilation tier: straight-line guest regions are translated
+// once into host-side superblocks — pre-decoded instruction vectors with
+// a classified exit — and executed by a fused dispatch loop
+// (blockexec.go) that pays the fetch/decode, PC-maintenance and
+// budget-check costs per *block* instead of per instruction. Like the
+// predecode cache underneath it, the tier is a host optimization, not a
+// modelled structure: Cycle, the PMU counters, speculation episodes, the
+// store buffer and the predictors are byte-for-byte those of the
+// single-step interpreter (oracle.RunTierDiff and the difftest ring pin
+// this down, Snapshot field by Snapshot field).
+//
+// Coherence reuses the memory's per-page write generations exactly like
+// predecode slots: a block records the generation of every page its
+// bytes span (at most two — blocks are ≤ maxBlockOps instructions and
+// InstrSize divides PageSize) and is served only while both are
+// unchanged. A moved generation triggers byte-revalidation — the bytes
+// were already proven canonical, so an equal compare refreshes the
+// generations — and otherwise recompilation. Stores executed *inside* a
+// block re-check its own pages before the next cached decode is used, so
+// RWX self-modifying code falls back cleanly mid-block (blockexec.go).
+//
+// Blocks never contain speculation barriers (MFENCE/LFENCE/SYSCALL):
+// those retire through the single-step interpreter, as does everything
+// when an OnRetire observer is attached. Telemetry-enabled runs stay on
+// the block tier — the bodies replicate every hook site of Step.
+package cpu
+
+import (
+	"bytes"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+const (
+	bcacheBits = 10
+	bcacheSize = 1 << bcacheBits // 1024 direct-mapped block slots
+
+	// maxBlockOps caps a block's straight-line body. Guest loops in this
+	// codebase are short (attack kernels, progen blocks); 32 keeps worst-
+	// case budget-fallback runs negligible while covering every hot loop.
+	maxBlockOps = 32
+)
+
+// blockKind classifies a compiled block's exit.
+type blockKind uint8
+
+const (
+	// termNone: no terminator compiled — the block ends because the next
+	// instruction is a speculation barrier, undecodable, on an unfetchable
+	// page, or the body hit maxBlockOps. Execution falls through to endPC
+	// and the outer loop (or single-step interpreter) takes over.
+	termNone blockKind = iota
+	termJmp
+	termCond
+	// termFused: a CMP/CMPI immediately feeding the exiting conditional
+	// branch, executed as one fused slot that retires two instructions.
+	// The flags are still architecturally materialized (the oracle
+	// compares them), but their computation is deferred to the branch.
+	termFused
+	termCall
+	termCallr
+	termJmpr
+	termRet
+	termHalt
+	// termUncompilable is a negative entry: the first instruction at
+	// startPC cannot live in a block (barrier or undecodable bytes). It
+	// exists so hot fence/syscall sites don't pay a failed compile per
+	// visit; the slot revalidates by generation like any other block.
+	termUncompilable
+)
+
+// block is one compiled superblock. body holds the straight-line
+// non-control instructions; term the classified exit (when kind is a
+// terminator kind); cmp the comparison folded into a termFused exit.
+type block struct {
+	startPC uint64
+	endPC   uint64 // fall-through PC after the last compiled instruction
+	body    []isa.Instruction
+	term    isa.Instruction
+	cmp     isa.Instruction
+	kind    blockKind
+	nretire int // architectural instructions a full execution retires
+
+	// Pages spanned by the block's bytes and their write generations at
+	// compile/revalidate time. Single-page blocks set pg1 = pg0 so the
+	// hot validity test is two unconditional compares.
+	pg0, pg1   uint64
+	gen0, gen1 uint64
+	raw        []byte // compile-time bytes, for cheap revalidation
+
+	// succ caches the block executed after this one: [0] when the exit
+	// fell through to endPC, [1] when it went anywhere else. Chained
+	// lookups skip the cache index; validity is still gen-checked.
+	succ [2]*block
+	hits uint64
+}
+
+// termKindOf classifies a terminator opcode (op.IsBlockTerminator()).
+func termKindOf(op isa.Op) blockKind {
+	switch {
+	case op == isa.JMP:
+		return termJmp
+	case op.IsCondBranch():
+		return termCond
+	case op == isa.CALL:
+		return termCall
+	case op == isa.CALLR:
+		return termCallr
+	case op == isa.JMPR:
+		return termJmpr
+	case op == isa.RET:
+		return termRet
+	default: // HALT
+		return termHalt
+	}
+}
+
+// compileBlock translates the straight-line region at pc. It returns nil
+// when pc is unaligned or unfetchable (the single-step path will fault
+// with the exact architectural error); otherwise it always returns a
+// block — possibly a termUncompilable negative entry.
+func (c *CPU) compileBlock(pc uint64) *block {
+	if pc%isa.InstrSize != 0 {
+		// Corrupted control flow: only aligned PCs are block-compiled.
+		return nil
+	}
+	raw, gen, err := c.Mem.FetchNoCopy(pc, isa.InstrSize)
+	if err != nil {
+		return nil
+	}
+	b := &block{startPC: pc, pg0: pc / mem.PageSize}
+	b.pg1, b.gen0, b.gen1 = b.pg0, gen, gen
+	p := pc
+	for {
+		in, derr := isa.Decode(raw)
+		if derr != nil || in.Op.IsSpecBarrier() {
+			break // retired by the single-step interpreter
+		}
+		if pg := p / mem.PageSize; pg != b.pg0 {
+			b.pg1, b.gen1 = pg, gen
+		}
+		b.raw = append(b.raw, raw...)
+		p += isa.InstrSize
+		if in.Op.IsBlockTerminator() {
+			b.term, b.kind = in, termKindOf(in.Op)
+			break
+		}
+		b.body = append(b.body, in)
+		if len(b.body) >= maxBlockOps {
+			break
+		}
+		if raw, gen, err = c.Mem.FetchNoCopy(p, isa.InstrSize); err != nil {
+			break
+		}
+	}
+	b.endPC = p
+
+	// Fuse a flag-producing compare into the conditional exit it feeds.
+	if b.kind == termCond && len(b.body) > 0 {
+		if last := b.body[len(b.body)-1]; last.Op.SetsFlags() {
+			b.cmp = last
+			b.body = b.body[:len(b.body)-1]
+			b.kind = termFused
+		}
+	}
+
+	b.nretire = len(b.body)
+	switch b.kind {
+	case termNone:
+		if b.nretire == 0 {
+			b.kind = termUncompilable
+		}
+	case termFused:
+		b.nretire += 2
+	default:
+		b.nretire++
+	}
+	return b
+}
+
+// lookupBlock returns a valid compiled block for pc, revalidating or
+// recompiling a stale slot, or nil when pc cannot be block-compiled at
+// all (unaligned / unfetchable).
+func (c *CPU) lookupBlock(pc uint64) *block {
+	slot := &c.bcache[(pc/isa.InstrSize)&(bcacheSize-1)]
+	if b := *slot; b != nil && b.startPC == pc {
+		if c.genTab[b.pg0] == b.gen0 && c.genTab[b.pg1] == b.gen1 {
+			if b.nretire > 0 {
+				c.blkHits++
+				b.hits++
+			}
+			return b
+		}
+		if c.revalidateBlock(b) {
+			if b.nretire > 0 {
+				c.blkHits++
+				b.hits++
+			}
+			return b
+		}
+		c.blkInval++
+	}
+	b := c.compileBlock(pc)
+	if b != nil {
+		if b.nretire > 0 {
+			c.blkCompiled++
+		}
+		*slot = b
+	}
+	return b
+}
+
+// revalidateBlock re-fetches a stale block's bytes (re-walking execute
+// permission, so a Protect flip is caught) and refreshes its generations
+// when they are unchanged — the page was written, but not under the
+// block. Negative entries hold no bytes and always recompile.
+func (c *CPU) revalidateBlock(b *block) bool {
+	if len(b.raw) == 0 {
+		return false
+	}
+	n0 := uint64(len(b.raw))
+	if b.pg1 != b.pg0 {
+		n0 = (b.pg0+1)*mem.PageSize - b.startPC
+	}
+	raw0, gen0, err := c.Mem.FetchNoCopy(b.startPC, n0)
+	if err != nil || !bytes.Equal(raw0, b.raw[:n0]) {
+		return false
+	}
+	gen1 := gen0
+	if b.pg1 != b.pg0 {
+		raw1, g, err := c.Mem.FetchNoCopy(b.pg1*mem.PageSize, uint64(len(b.raw))-n0)
+		if err != nil || !bytes.Equal(raw1, b.raw[n0:]) {
+			return false
+		}
+		gen1 = g
+	}
+	b.gen0, b.gen1 = gen0, gen1
+	return true
+}
+
+// BlockStats reports the block tier's effectiveness counters. They are
+// host-side metrics, deliberately not part of Snapshot: the PMU event
+// catalogue feeds the HID feature set and the golden figure CSVs, which
+// must not observe a host optimization.
+type BlockStats struct {
+	Compiled      uint64 // blocks translated (excludes negative entries)
+	Hits          uint64 // block executions served from the cache
+	Invalidations uint64 // stale blocks that failed byte-revalidation
+}
+
+// BlockStats returns the current block-cache counters.
+func (c *CPU) BlockStats() BlockStats {
+	return BlockStats{Compiled: c.blkCompiled, Hits: c.blkHits, Invalidations: c.blkInval}
+}
+
+// BlockInfo describes one live block-cache entry (simdbg -blocks).
+type BlockInfo struct {
+	StartPC uint64
+	EndPC   uint64
+	Instrs  int  // architectural instructions retired by a full execution
+	Fused   bool // CMP/CMPI folded into the conditional exit
+	Exit    string
+	Hits    uint64
+	Valid   bool // generations current at inspection time
+}
+
+// Blocks snapshots the live block cache, ordered by StartPC. Negative
+// (uncompilable) entries are included with Instrs == 0.
+func (c *CPU) Blocks() []BlockInfo {
+	var out []BlockInfo
+	for _, b := range &c.bcache {
+		if b == nil {
+			continue
+		}
+		out = append(out, BlockInfo{
+			StartPC: b.startPC,
+			EndPC:   b.endPC,
+			Instrs:  b.nretire,
+			Fused:   b.kind == termFused,
+			Exit:    b.kind.String(),
+			Hits:    b.hits,
+			Valid:   c.genTab[b.pg0] == b.gen0 && c.genTab[b.pg1] == b.gen1,
+		})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].StartPC > out[j].StartPC; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func (k blockKind) String() string {
+	switch k {
+	case termNone:
+		return "fallthrough"
+	case termJmp:
+		return "jmp"
+	case termCond:
+		return "cond"
+	case termFused:
+		return "cmp+cond"
+	case termCall:
+		return "call"
+	case termCallr:
+		return "callr"
+	case termJmpr:
+		return "jmpr"
+	case termRet:
+		return "ret"
+	case termHalt:
+		return "halt"
+	case termUncompilable:
+		return "uncompilable"
+	}
+	return "?"
+}

@@ -83,6 +83,16 @@ type Config struct {
 	// retired loads never speculatively ignore a pending store whose
 	// data is still in flight, closing the Spectre-v4 window.
 	DisableStoreBypass bool
+	// NoPredecode disables the host-side predecode cache (every fetch
+	// pays the permission walk and validating decode) and, because the
+	// block tier builds on the same coherence machinery, the block tier
+	// with it. A field-bisection escape hatch; changes host throughput
+	// only, never simulated behavior.
+	NoPredecode bool
+	// NoBlocks disables the block-compilation tier only, leaving the
+	// predecode cache on — Run retires strictly one instruction per
+	// dispatch. Same escape-hatch contract as NoPredecode.
+	NoBlocks bool
 }
 
 // DefaultConfig returns the baseline core configuration used by the
@@ -183,6 +193,26 @@ type CPU struct {
 	pendingStores []pendingStore
 	bypasses      uint64 // store-bypass wrong-path episodes launched
 	indirectSpecs uint64 // episodes launched at a BTB-predicted target
+
+	// Block-compilation tier (blockcache.go / blockexec.go). Appended
+	// after every pre-existing field, like the telemetry and SSB state
+	// above: the predecode icache's alignment must not move.
+	blocksOff   bool
+	blkCompiled uint64
+	blkHits     uint64
+	blkInval    uint64
+	bcache      [bcacheSize]*block
+
+	// stopCycle is Run's cycle horizon (RunUntilCycle): execution stops
+	// at the first instruction whose retirement puts Cycle at or past
+	// it. MaxUint64 (the value outside RunUntilCycle) disables the check.
+	stopCycle uint64
+
+	// specScratch is the pooled wrong-path episode state: speculation is
+	// not reentrant, so one reusable specState (and its store-buffer map)
+	// serves every episode — the hot loop allocates nothing (the
+	// AllocsPerRun gate in block_test.go).
+	specScratch specState
 }
 
 // New builds a core over the given memory with a default cache hierarchy
@@ -211,11 +241,14 @@ func New(m *mem.Memory, cfg Config) *CPU {
 	caches := cache.DefaultHierarchy()
 	caches.NextLinePrefetch = cfg.NextLinePrefetch
 	c := &CPU{
-		Mem:    m,
-		Caches: caches,
-		BP:     bp,
-		cfg:    cfg,
-		genTab: m.PageGens(),
+		Mem:          m,
+		Caches:       caches,
+		BP:           bp,
+		cfg:          cfg,
+		genTab:       m.PageGens(),
+		predecodeOff: cfg.NoPredecode,
+		blocksOff:    cfg.NoBlocks,
+		stopCycle:    ^uint64(0),
 	}
 	if cfg.NoisePeriod > 0 {
 		c.noiseNext = cfg.NoisePeriod

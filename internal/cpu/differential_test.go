@@ -76,3 +76,28 @@ func FuzzDifferentialMutated(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBlockCompile drives the superblock tier against the single-step
+// interpreter over generated programs (including self-modifying ones)
+// under the posture ring. The tier contract is harsher than the
+// architectural lock-step above: RunTierDiff compares the full PMU
+// snapshot — Cycle and StallCycles included — at every slice boundary,
+// plus all registers, flags and dirtied memory.
+func FuzzBlockCompile(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(0))
+	f.Add(int64(42), uint8(1), uint16(33))
+	f.Add(int64(-7), uint8(2), uint16(257))
+	f.Add(int64(999983), uint8(3), uint16(1024))
+	f.Fuzz(func(t *testing.T, seed int64, cfgPick uint8, slice uint16) {
+		cfg := fuzzConfigs[int(cfgPick)%len(fuzzConfigs)]
+		p := progen.Generate(seed, progen.DefaultOptions())
+		res, err := oracle.RunTierDiff(p, cfg, fuzzBudget, uint64(slice), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Clean() {
+			t.Fatalf("seed %d cfg %d slice %d tier divergence after %d steps:\n%v\nprogram:\n%s",
+				seed, cfgPick, slice, res.Steps, res.Div, p.Disasm(0))
+		}
+	})
+}

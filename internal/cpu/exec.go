@@ -74,8 +74,16 @@ func (c *CPU) telEmit(kind telemetry.Kind, cyc, pc, addr, val uint64) {
 }
 
 // Run executes until HALT or until maxInstr instructions retire,
-// returning ErrBudget in the latter case.
+// returning ErrBudget in the latter case. When the block tier is enabled
+// (the default) it dispatches compiled superblocks (blockexec.go);
+// per-instruction observers (OnRetire) and the escape hatches force the
+// single-step loop. Both tiers are the same machine — identical Cycle,
+// counters, speculation and faults — differing only in host throughput.
 func (c *CPU) Run(maxInstr uint64) error {
+	if !c.blocksOff && !c.predecodeOff && c.OnRetire == nil {
+		return c.runBlocks(maxInstr)
+	}
+	stop := c.stopCycle
 	for i := uint64(0); i < maxInstr; i++ {
 		if c.halted {
 			return nil
@@ -83,11 +91,29 @@ func (c *CPU) Run(maxInstr uint64) error {
 		if err := c.Step(); err != nil {
 			return err
 		}
+		if c.Cycle >= stop {
+			return nil
+		}
 	}
 	if c.halted {
 		return nil
 	}
 	return ErrBudget
+}
+
+// RunUntilCycle is Run with a cycle horizon: it additionally stops at
+// the first instruction whose retirement puts the core clock at or past
+// stopCycle (returning nil; the caller reads Cycle/Halted to see why it
+// stopped). The stop lands on exactly that retirement in both tiers —
+// execBlock checks the horizon in its per-instruction retire tail, and
+// every retire point is an architectural boundary — so cycle-boundary
+// observers like the PMU sampler read byte-identical snapshots whichever
+// tier ran.
+func (c *CPU) RunUntilCycle(maxInstr, stopCycle uint64) error {
+	c.stopCycle = stopCycle
+	err := c.Run(maxInstr)
+	c.stopCycle = ^uint64(0)
+	return err
 }
 
 // next is the fall-through PC for the current instruction.

@@ -89,3 +89,92 @@ func TestOpcodeMatrixCoversISA(t *testing.T) {
 		t.Fatal("opcode matrix shrank")
 	}
 }
+
+// TestFusedCompareBranchMatrix pins the block tier's fused CMP/CMPI+Jcc
+// slot against the single-step interpreter for every conditional branch
+// opcode, both compare forms, and operand orderings covering all flag
+// combinations (equal, signed-less, unsigned-below and their inverses).
+// The single-step side is itself pinned against the reference oracle by
+// TestOpcodeSemanticsMatrix and the lock-step suite, so agreement here
+// closes the chain. The comparison is the full tier contract: result
+// register, materialized flags, Cycle and the whole PMU snapshot.
+func TestFusedCompareBranchMatrix(t *testing.T) {
+	branches := []string{"je", "jne", "jl", "jle", "jg", "jge", "jb", "jbe", "ja", "jae"}
+	operands := []struct {
+		name string
+		a, b int64
+	}{
+		{"equal", 5, 5},
+		{"less", 3, 9},
+		{"greater", 9, 3},
+		{"neg_vs_pos", -5, 3},
+		{"pos_vs_neg", 3, -5},
+		{"neg_equal", -5, -5},
+	}
+	for _, br := range branches {
+		for _, form := range []string{"cmp", "cmpi"} {
+			for _, ops := range operands {
+				name := br + "_" + form + "_" + ops.name
+				t.Run(name, func(t *testing.T) {
+					var cmpLine string
+					if form == "cmp" {
+						cmpLine = "cmp r2, r3"
+					} else {
+						cmpLine = "cmpi r2, " + itoa64(ops.b)
+					}
+					src := "movi r2, " + itoa64(ops.a) + "\n" +
+						"movi r3, " + itoa64(ops.b) + "\n" +
+						cmpLine + "\n" +
+						br + " yes\n" +
+						"movi r1, 0\nhalt\nyes: movi r1, 1\nhalt"
+					run := func(noBlocks bool) *CPU {
+						cfg := DefaultConfig()
+						cfg.NoBlocks = noBlocks
+						c, _ := load(t, src, cfg)
+						mustRun(t, c, 1000)
+						return c
+					}
+					cb, cs := run(false), run(true)
+					if cb.Regs[1] != cs.Regs[1] {
+						t.Fatalf("branch outcome differs: blocks r1=%d single-step r1=%d", cb.Regs[1], cs.Regs[1])
+					}
+					bz, blt, bb := cb.Flags()
+					sz, slt, sb := cs.Flags()
+					if bz != sz || blt != slt || bb != sb {
+						t.Fatalf("materialized flags differ: blocks=(%v %v %v) single-step=(%v %v %v)",
+							bz, blt, bb, sz, slt, sb)
+					}
+					if cb.Cycle != cs.Cycle || cb.Snapshot() != cs.Snapshot() {
+						t.Fatalf("machine state differs:\nblocks:      %+v\nsingle-step: %+v",
+							cb.Snapshot(), cs.Snapshot())
+					}
+					var fused bool
+					for _, b := range cb.Blocks() {
+						fused = fused || b.Fused
+					}
+					if !fused {
+						t.Fatal("compare+branch pair was not compiled as a fused exit")
+					}
+				})
+			}
+		}
+	}
+}
+
+// itoa64 renders a possibly negative immediate for assembly source.
+func itoa64(v int64) string {
+	if v < 0 {
+		return "-" + itoa64(-v)
+	}
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

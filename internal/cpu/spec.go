@@ -28,6 +28,11 @@ type specState struct {
 	flagsRdy uint64
 	store    map[uint64]specByte
 	filled   []uint64 // addresses whose loads missed (for squash rollback)
+	// cyc is the episode-local cycle. A field rather than a local so the
+	// cache hierarchy's event clock can point at it during a telemetry-
+	// traced episode without forcing a per-episode heap allocation (the
+	// zero-alloc gate in block_test.go).
+	cyc uint64
 }
 
 // speculate executes the wrong path starting at pc until the episode's
@@ -48,37 +53,44 @@ func (c *CPU) speculateSeeded(pc, deadline uint64, seed func(*specState)) {
 	if !c.cfg.SpeculationEnabled {
 		return
 	}
-	s := specState{
-		regs:     c.Regs,
-		ready:    c.regReady,
-		flagZ:    c.flagZ,
-		flagLT:   c.flagLT,
-		flagB:    c.flagB,
-		flagsRdy: c.flagsReady,
-		store:    make(map[uint64]specByte),
+	// Episodes are never nested (wrong paths do not re-speculate), so one
+	// pooled specState per core serves them all: the store-buffer map and
+	// the rollback list are cleared, not reallocated — with the block
+	// tier this makes the whole retired+wrong-path hot loop allocation
+	// free (the AllocsPerRun gate in block_test.go).
+	s := &c.specScratch
+	s.regs = c.Regs
+	s.ready = c.regReady
+	s.flagZ, s.flagLT, s.flagB = c.flagZ, c.flagLT, c.flagB
+	s.flagsRdy = c.flagsReady
+	if s.store == nil {
+		s.store = make(map[uint64]specByte)
+	} else {
+		clear(s.store)
 	}
+	s.filled = s.filled[:0]
 	if seed != nil {
-		seed(&s)
+		seed(s)
 	}
-	cyc := c.Cycle
+	s.cyc = c.Cycle
 
 	if c.tel != nil {
 		c.telEmit(telemetry.KindSpecEnter, c.Cycle, pc, 0, deadline)
 		// Repoint the hierarchy's event clock at the episode-local cycle
 		// so wrong-path cache fills nest inside the episode's trace slice;
 		// restored (with the squash emission) before returning.
-		c.Caches.Clock = &cyc
+		c.Caches.Clock = &s.cyc
 	}
 
 	wait := func(r uint8) {
-		if s.ready[r] > cyc {
-			cyc = s.ready[r]
+		if s.ready[r] > s.cyc {
+			s.cyc = s.ready[r]
 		}
 	}
 
 	n := 0
 loop:
-	for ; n < c.cfg.SpecWindow && cyc < deadline; n++ {
+	for ; n < c.cfg.SpecWindow && s.cyc < deadline; n++ {
 		in, ok := c.fetchDecode(pc)
 		if !ok {
 			var err error
@@ -91,20 +103,20 @@ loop:
 
 		switch in.Op {
 		case isa.NOP:
-			cyc++
+			s.cyc++
 			pc = next
 
 		case isa.MOVI:
 			s.regs[in.Rd] = uint64(in.Imm)
-			cyc++
-			s.ready[in.Rd] = cyc
+			s.cyc++
+			s.ready[in.Rd] = s.cyc
 			pc = next
 
 		case isa.MOV:
 			wait(in.Rs1)
 			s.regs[in.Rd] = s.regs[in.Rs1]
-			cyc++
-			s.ready[in.Rd] = cyc
+			s.cyc++
+			s.ready[in.Rd] = s.cyc
 			pc = next
 
 		case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR:
@@ -115,8 +127,8 @@ loop:
 				break loop
 			}
 			s.regs[in.Rd] = v
-			cyc += aluCost(in.Op)
-			s.ready[in.Rd] = cyc
+			s.cyc += aluCost(in.Op)
+			s.ready[in.Rd] = s.cyc
 			pc = next
 
 		case isa.ADDI, isa.SUBI, isa.MULI, isa.DIVI, isa.MODI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
@@ -126,13 +138,13 @@ loop:
 				break loop
 			}
 			s.regs[in.Rd] = v
-			cyc += aluCost(immOpBase(in.Op))
-			s.ready[in.Rd] = cyc
+			s.cyc += aluCost(immOpBase(in.Op))
+			s.ready[in.Rd] = s.cyc
 			pc = next
 
 		case isa.LOAD, isa.LOADB:
 			wait(in.Rs1)
-			if cyc >= deadline {
+			if s.cyc >= deadline {
 				break loop
 			}
 			addr := s.regs[in.Rs1] + uint64(in.Imm)
@@ -140,7 +152,7 @@ loop:
 			if in.Op == isa.LOADB {
 				size = 1
 			}
-			v, err := c.specRead(&s, addr, size, cyc)
+			v, err := c.specRead(s, addr, size, s.cyc)
 			if err != nil {
 				break loop
 			}
@@ -151,10 +163,10 @@ loop:
 			c.specLoads++
 			if addr < c.probeHi && addr >= c.probeLo && c.tel != nil {
 				// The speculative transmit into the covert channel.
-				c.telEmit(telemetry.KindCovertProbe, cyc, pc, addr, lat)
+				c.telEmit(telemetry.KindCovertProbe, s.cyc, pc, addr, lat)
 			}
-			issue := cyc
-			cyc++
+			issue := s.cyc
+			s.cyc++
 			s.regs[in.Rd] = v
 			s.ready[in.Rd] = issue + lat
 			pc = next
@@ -168,19 +180,19 @@ loop:
 			}
 			// Data still in flight leaves the entry invisible until it
 			// resolves: younger speculative loads bypass it (Spectre v4).
-			vis := cyc + 1
+			vis := s.cyc + 1
 			if s.ready[in.Rs2] > vis {
 				vis = s.ready[in.Rs2]
 			}
 			for i := uint64(0); i < n; i++ {
 				s.store[addr+i] = specByte{b: byte(s.regs[in.Rs2] >> (8 * i)), visibleAt: vis}
 			}
-			cyc++
+			s.cyc++
 			pc = next
 
 		case isa.PUSH:
 			sp := s.regs[isa.RegSP] - 8
-			vis := cyc + 1
+			vis := s.cyc + 1
 			if s.ready[in.Rs1] > vis {
 				vis = s.ready[in.Rs1]
 			}
@@ -188,13 +200,13 @@ loop:
 				s.store[sp+i] = specByte{b: byte(s.regs[in.Rs1] >> (8 * i)), visibleAt: vis}
 			}
 			s.regs[isa.RegSP] = sp
-			cyc++
-			s.ready[isa.RegSP] = cyc
+			s.cyc++
+			s.ready[isa.RegSP] = s.cyc
 			pc = next
 
 		case isa.POP:
 			sp := s.regs[isa.RegSP]
-			v, err := c.specRead(&s, sp, 8, cyc)
+			v, err := c.specRead(s, sp, 8, s.cyc)
 			if err != nil {
 				break loop
 			}
@@ -203,36 +215,36 @@ loop:
 				s.filled = append(s.filled, sp)
 			}
 			c.specLoads++
-			issue := cyc
-			cyc++
+			issue := s.cyc
+			s.cyc++
 			s.regs[in.Rd] = v
 			s.ready[in.Rd] = issue + lat
 			s.regs[isa.RegSP] = sp + 8
-			s.ready[isa.RegSP] = cyc
+			s.ready[isa.RegSP] = s.cyc
 			pc = next
 
 		case isa.CMP:
-			s.flagsRdy = maxU64(cyc+1, maxU64(s.ready[in.Rs1], s.ready[in.Rs2]))
+			s.flagsRdy = maxU64(s.cyc+1, maxU64(s.ready[in.Rs1], s.ready[in.Rs2]))
 			a, b := s.regs[in.Rs1], s.regs[in.Rs2]
 			s.flagZ, s.flagLT, s.flagB = a == b, int64(a) < int64(b), a < b
-			cyc++
+			s.cyc++
 			pc = next
 
 		case isa.CMPI:
-			s.flagsRdy = maxU64(cyc+1, s.ready[in.Rs1])
+			s.flagsRdy = maxU64(s.cyc+1, s.ready[in.Rs1])
 			a, b := s.regs[in.Rs1], uint64(in.Imm)
 			s.flagZ, s.flagLT, s.flagB = a == b, int64(a) < int64(b), a < b
-			cyc++
+			s.cyc++
 			pc = next
 
 		case isa.JMP:
-			cyc++
+			s.cyc++
 			pc = uint64(in.Imm)
 
 		case isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE, isa.JB, isa.JBE, isa.JA, isa.JAE:
 			// Nested speculation is not modelled: the episode follows
 			// the branch's functional outcome under its own flags.
-			cyc++
+			s.cyc++
 			if condEval(in.Op, s.flagZ, s.flagLT, s.flagB) {
 				pc = uint64(in.Imm)
 			} else {
@@ -244,30 +256,30 @@ loop:
 			// visible immediately.
 			sp := s.regs[isa.RegSP] - 8
 			for i := uint64(0); i < 8; i++ {
-				s.store[sp+i] = specByte{b: byte(next >> (8 * i)), visibleAt: cyc}
+				s.store[sp+i] = specByte{b: byte(next >> (8 * i)), visibleAt: s.cyc}
 			}
 			s.regs[isa.RegSP] = sp
-			cyc++
-			s.ready[isa.RegSP] = cyc
+			s.cyc++
+			s.ready[isa.RegSP] = s.cyc
 			pc = uint64(in.Imm)
 
 		case isa.CALLR:
 			sp := s.regs[isa.RegSP] - 8
 			for i := uint64(0); i < 8; i++ {
-				s.store[sp+i] = specByte{b: byte(next >> (8 * i)), visibleAt: cyc}
+				s.store[sp+i] = specByte{b: byte(next >> (8 * i)), visibleAt: s.cyc}
 			}
 			s.regs[isa.RegSP] = sp
-			cyc++
-			s.ready[isa.RegSP] = cyc
-			if tgt, ok := c.specIndirectTarget(&s, in.Rs1, pc, cyc); ok {
+			s.cyc++
+			s.ready[isa.RegSP] = s.cyc
+			if tgt, ok := c.specIndirectTarget(s, in.Rs1, pc, s.cyc); ok {
 				pc = tgt
 			} else {
 				break loop
 			}
 
 		case isa.JMPR:
-			cyc++
-			if tgt, ok := c.specIndirectTarget(&s, in.Rs1, pc, cyc); ok {
+			s.cyc++
+			if tgt, ok := c.specIndirectTarget(s, in.Rs1, pc, s.cyc); ok {
 				pc = tgt
 			} else {
 				break loop
@@ -275,25 +287,25 @@ loop:
 
 		case isa.RET:
 			sp := s.regs[isa.RegSP]
-			v, err := c.specRead(&s, sp, 8, cyc)
+			v, err := c.specRead(s, sp, 8, s.cyc)
 			if err != nil {
 				break loop
 			}
 			s.regs[isa.RegSP] = sp + 8
-			cyc++
-			s.ready[isa.RegSP] = cyc
+			s.cyc++
+			s.ready[isa.RegSP] = s.cyc
 			pc = v
 
 		case isa.CLFLUSH:
 			// CLFLUSH is not performed speculatively on real parts;
 			// the episode treats it as a no-op slot.
-			cyc++
+			s.cyc++
 			pc = next
 
 		case isa.RDTSC:
-			s.regs[in.Rd] = cyc
-			cyc++
-			s.ready[in.Rd] = cyc
+			s.regs[in.Rd] = s.cyc
+			s.cyc++
+			s.ready[in.Rd] = s.cyc
 			pc = next
 
 		case isa.MFENCE, isa.LFENCE, isa.SYSCALL, isa.HALT:
@@ -312,7 +324,7 @@ loop:
 		}
 	}
 	if c.tel != nil {
-		c.telEmit(telemetry.KindSpecSquash, cyc, pc, 0, uint64(n))
+		c.telEmit(telemetry.KindSpecSquash, s.cyc, pc, 0, uint64(n))
 		c.Caches.Clock = &c.Cycle
 	}
 }

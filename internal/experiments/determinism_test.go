@@ -140,6 +140,32 @@ func TestDeterminismManifest(t *testing.T) {
 	}
 }
 
+// TestDeterminismBlockMetrics pins the block-tier metrics triple
+// (blocks.compiled / blocks.hits / blocks.invalidations): published
+// per finished machine with commutative Add, the totals must be
+// identical for any worker count — and non-zero, proving the superblock
+// tier actually served the experiment rather than silently falling back
+// to single-step.
+func TestDeterminismBlockMetrics(t *testing.T) {
+	build := func(workers int) map[string]float64 {
+		cfg := detCfg(workers)
+		cfg.Metrics = telemetry.NewRegistry()
+		if _, err := cfg.AttackCorpus(24); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Metrics.Values()
+	}
+	m1, m4 := build(1), build(4)
+	for _, name := range []string{"blocks.compiled", "blocks.hits", "blocks.invalidations"} {
+		if m1[name] != m4[name] {
+			t.Errorf("%s differs between Workers=1 (%g) and Workers=4 (%g)", name, m1[name], m4[name])
+		}
+	}
+	if m1["blocks.compiled"] == 0 || m1["blocks.hits"] == 0 {
+		t.Errorf("block tier did not engage: compiled=%g hits=%g", m1["blocks.compiled"], m1["blocks.hits"])
+	}
+}
+
 // TestDeterminismCampaign covers the stateful Fig. 5 path: the fan-out
 // inside each attempt must not leak scheduling order into detector
 // state.

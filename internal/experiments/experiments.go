@@ -138,6 +138,14 @@ func (cfg Config) sampler() *pmu.Sampler {
 	return &pmu.Sampler{Interval: cfg.Interval, Events: pmu.AllEvents()}
 }
 
+// publishBlocks folds a finished machine's block-cache counters into the
+// metrics registry under "blocks.". Called at every run choke point so
+// the manifest reports how much of a campaign the superblock tier
+// actually served; Add-only counters keep the totals Workers-invariant.
+func (cfg Config) publishBlocks(m *vm.Machine) {
+	pmu.PublishBlocks(cfg.Metrics, "blocks.", m.CPU.BlockStats())
+}
+
 // benignRun executes one workload host with a benign argument and
 // returns its samples plus the finished machine (for counters/IPC).
 func (cfg Config) benignRun(w mibench.Workload, seed int64) ([]pmu.Sample, *vm.Machine, error) {
@@ -160,6 +168,7 @@ func (cfg Config) benignRun(w mibench.Workload, seed int64) ([]pmu.Sample, *vm.M
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: benign %s: %w", w.Name, err)
 	}
+	cfg.publishBlocks(m)
 	return samples, m, nil
 }
 
@@ -221,6 +230,7 @@ func (cfg Config) standaloneRun(spec AttackSpec, seed int64) ([]pmu.Sample, *vm.
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: standalone spectre: %w", err)
 	}
+	cfg.publishBlocks(m)
 	return samples, m, nil
 }
 
@@ -279,6 +289,7 @@ func (cfg Config) crRun(w mibench.Workload, spec AttackSpec, seed int64) (*CRRes
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cr run on %s: %w", w.Name, err)
 	}
+	cfg.publishBlocks(m)
 	out := m.Output.String()
 	rec := out
 	if len(rec) > len(cfg.Secret) {

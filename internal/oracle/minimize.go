@@ -32,3 +32,20 @@ func Minimize(p progen.Program, cfg cpu.Config, maxInstr uint64, pre PreStep) (m
 	}
 	return p, p.NumInstr, Result{}, false
 }
+
+// MinimizeTier is Minimize for block-tier divergences: the same
+// truncation scan, reproduced through RunTierDiff instead of the
+// reference lock-step.
+func MinimizeTier(p progen.Program, cfg cpu.Config, maxInstr, sliceInstr uint64, pre TierPreSlice) (min progen.Program, n int, res TierResult, ok bool) {
+	for k := 1; k <= p.NumInstr; k++ {
+		t := p.Truncate(k)
+		r, err := RunTierDiff(t, cfg, maxInstr, sliceInstr, pre)
+		if err != nil {
+			continue
+		}
+		if !r.Clean() {
+			return t, k, r, true
+		}
+	}
+	return p, p.NumInstr, TierResult{}, false
+}

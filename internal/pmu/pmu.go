@@ -328,10 +328,16 @@ func DefaultSampler() *Sampler {
 	return &Sampler{Interval: 50_000, Events: Features(4)}
 }
 
-// Run steps the core until it halts or maxInstr instructions retire,
+// Run executes the core until it halts or maxInstr instructions retire,
 // emitting one sample per elapsed interval. The trailing partial
 // interval is kept when it covers at least half the period (so short
 // programs still produce a final sample).
+//
+// The core advances through cpu.RunUntilCycle, which stops on exactly
+// the retirement that crosses each interval boundary in either
+// execution tier — so the samples are byte-identical to a single-step
+// loop's while the hot stretches between boundaries run through the
+// superblock cache (TestSamplerTierEquivalence pins this).
 func (s *Sampler) Run(c *cpu.CPU, maxInstr uint64) ([]Sample, error) {
 	if s.Interval == 0 {
 		return nil, fmt.Errorf("pmu: sampling interval must be positive")
@@ -339,8 +345,11 @@ func (s *Sampler) Run(c *cpu.CPU, maxInstr uint64) ([]Sample, error) {
 	var samples []Sample
 	prev := c.Snapshot()
 	nextBoundary := c.Cycle + s.Interval
-	for retired := uint64(0); retired < maxInstr && !c.Halted(); retired++ {
-		if err := c.Step(); err != nil {
+	for retired := uint64(0); retired < maxInstr && !c.Halted(); {
+		before := c.Instret()
+		err := c.RunUntilCycle(maxInstr-retired, nextBoundary)
+		retired += c.Instret() - before
+		if err != nil && err != cpu.ErrBudget {
 			return samples, err
 		}
 		if c.Cycle >= nextBoundary {

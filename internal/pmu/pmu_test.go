@@ -161,3 +161,85 @@ func TestEveryEventDescribed(t *testing.T) {
 		t.Error("out-of-range event described")
 	}
 }
+
+// TestSamplerTierEquivalence pins the sampler's cycle-horizon contract:
+// profiling through the superblock tier must produce byte-identical
+// sample vectors to profiling the single-step interpreter, including on
+// a workload with cache misses, in-flight flags and real speculation
+// episodes — the boundary-crossing retirement is the same instruction
+// in both tiers.
+func TestSamplerTierEquivalence(t *testing.T) {
+	build := func(noBlocks bool) *cpu.CPU {
+		mod := isa.MustAssemble(`
+			movi r1, arr
+			movi r2, 40000
+		loop:
+			clflush [r1+8]
+			load r3, [r1+8]
+			store [r1+16], r3
+			cmpi r3, 0
+			jl skip
+			addi r5, r5, 1
+		skip:
+			load r9, [r1+8]
+			muli r9, r9, 25214903917
+			addi r9, r9, 11
+			store [r1+8], r9
+			subi r2, r2, 1
+			cmpi r2, 0
+			jne loop
+			halt
+		.data
+		arr: .space 64
+		`)
+		img, err := mod.Link(0x10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New(1 << 20)
+		if err := m.LoadRaw(img.Base, img.Code); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Protect(img.Base, uint64(len(img.Code)), mem.PermRX); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadRaw(img.DataBase, img.Data); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Protect(img.DataBase, uint64(len(img.Data)), mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		cfg := cpu.DefaultConfig()
+		cfg.NoBlocks = noBlocks
+		c := cpu.New(m, cfg)
+		c.PC = img.Entry
+		return c
+	}
+	// A prime interval drifts the boundary across block edges, so stops
+	// land mid-block, between a fused pair, and on terminators alike.
+	run := func(noBlocks bool) ([]Sample, *cpu.CPU) {
+		c := build(noBlocks)
+		s := &Sampler{Interval: 9973, Events: AllEvents()}
+		samples, err := s.Run(c, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples, c
+	}
+	blocks, cb := run(false)
+	single, _ := run(true)
+	if cb.BlockStats().Hits == 0 {
+		t.Fatal("block tier never engaged; the test is comparing the interpreter with itself")
+	}
+	if len(blocks) != len(single) {
+		t.Fatalf("sample counts differ: blocks=%d single-step=%d", len(blocks), len(single))
+	}
+	for i := range blocks {
+		for j := range blocks[i] {
+			if blocks[i][j] != single[i][j] {
+				t.Fatalf("sample %d feature %s: blocks=%v single-step=%v",
+					i, AllEvents()[j], blocks[i][j], single[i][j])
+			}
+		}
+	}
+}

@@ -18,3 +18,18 @@ func Publish(reg *telemetry.Registry, prefix string, d cpu.Snapshot) {
 		reg.Set(prefix+e.String(), Extract(d, e))
 	}
 }
+
+// PublishBlocks accumulates a finished core's block-cache counters into
+// the registry as "<prefix>compiled", "<prefix>hits" and
+// "<prefix>invalidations". Unlike the gauge-based Publish these use Add:
+// every machine an experiment runs contributes its counts, and uint64
+// addition commutes, so the totals are byte-identical for any worker
+// fan-out. A nil registry is a no-op.
+func PublishBlocks(reg *telemetry.Registry, prefix string, s cpu.BlockStats) {
+	if reg == nil {
+		return
+	}
+	reg.Add(prefix+"compiled", s.Compiled)
+	reg.Add(prefix+"hits", s.Hits)
+	reg.Add(prefix+"invalidations", s.Invalidations)
+}

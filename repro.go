@@ -206,6 +206,12 @@ type AttackOptions struct {
 	// Metrics, when non-nil, receives the run's end-of-run PMU metrics
 	// under the "pmu." prefix plus pool counters, for the run manifest.
 	Metrics *telemetry.Registry
+	// NoBlocks disables the superblock execution tier (DESIGN.md §11);
+	// NoPredecode additionally disables the predecode cache, forcing the
+	// bare interpreter. Escape hatches for triaging tier bugs — results
+	// are identical either way, only host throughput changes.
+	NoBlocks    bool
+	NoPredecode bool
 }
 
 // AttackReport describes what one end-to-end CR-Spectre run did.
@@ -263,6 +269,8 @@ func RunAttack(o AttackOptions) (*AttackReport, error) {
 	}
 	cfg.Telemetry = o.Telemetry
 	cfg.Metrics = o.Metrics
+	cfg.CPU.NoBlocks = o.NoBlocks
+	cfg.CPU.NoPredecode = o.NoPredecode
 	spec := experiments.AttackSpec{Variant: variant}
 	if o.Perturbed {
 		pp := perturb.Paper()
