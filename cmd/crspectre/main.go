@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,7 +22,9 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -61,6 +64,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		traceOut  = fs.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
 		eventsOut = fs.String("trace-events", "", "write the raw JSONL event log to this file")
 		manifest  = fs.String("manifest", "", "write a run manifest (config, seeds, build, metrics) to this file")
+		obsAddr   = fs.String("obs", "", "serve live observability (/metrics, /progress, /events, /debug/pprof) on this address while running")
 
 		noblocks    = fs.Bool("noblocks", false, "disable the superblock tier (single-step through the predecode cache)")
 		nopredecode = fs.Bool("nopredecode", false, "disable the predecode cache too (bare interpreter; implies -noblocks)")
@@ -91,18 +95,37 @@ func run(args []string, stdout io.Writer) (err error) {
 	// registry whenever a manifest is wanted. Both stay nil — and every
 	// core hook a single nil check — otherwise.
 	var (
-		rec   *telemetry.Recorder
-		reg   *telemetry.Registry
-		start = time.Now()
+		rec     *telemetry.Recorder
+		reg     *telemetry.Registry
+		tracker *sched.Tracker
+		start   = time.Now()
+		runID   = telemetry.NewRunID()
 	)
-	if *traceOut != "" || *eventsOut != "" || *manifest != "" {
+	if *traceOut != "" || *eventsOut != "" || *manifest != "" || *obsAddr != "" {
 		rec = telemetry.NewRecorder(0)
 		// Retirements would wrap the ring within ~65k instructions and
 		// evict the attack's speculation episodes; keep them as counts.
 		rec.Exclude(telemetry.KindRetire)
 	}
-	if *manifest != "" {
+	if *manifest != "" || *obsAddr != "" {
 		reg = telemetry.NewRegistry()
+		tracker = sched.NewTracker(reg, rec, nil)
+	}
+	if *obsAddr != "" {
+		logger := telemetry.NewLogger(os.Stderr, "crspectre", runID)
+		tracker = sched.NewTracker(reg, rec, logger)
+		obsCtx, obsCancel := context.WithCancel(context.Background())
+		defer obsCancel()
+		srv, serr := obs.Serve(obsCtx, *obsAddr, obs.Options{
+			Tool: "crspectre", RunID: runID, Log: logger,
+			Registry: reg, Recorder: rec, Tracker: tracker,
+		})
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		stopWatch := tracker.Watch(obsCtx, 2*time.Minute)
+		defer stopWatch()
 	}
 
 	rep, err := repro.RunAttack(repro.AttackOptions{
@@ -115,6 +138,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		Workers:     *workers,
 		Telemetry:   rec,
 		Metrics:     reg,
+		Tracker:     tracker,
 		NoBlocks:    *noblocks,
 		NoPredecode: *nopredecode,
 	})
@@ -136,6 +160,8 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	if *manifest != "" {
 		m := telemetry.NewManifest("crspectre", args)
+		m.RunID = runID
+		m.RecordProgress(tracker.ManifestProgress())
 		m.Seed = *seed
 		m.Workers = *workers
 		m.Config = map[string]any{

@@ -28,15 +28,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/progen"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -104,6 +107,9 @@ func run(args []string, stdout io.Writer) error {
 
 		noblocks    = fs.Bool("noblocks", false, "disable the superblock tier (also skips the per-shard tier diff)")
 		nopredecode = fs.Bool("nopredecode", false, "disable the predecode cache (implies the bare interpreter; also disables blocks)")
+
+		obsAddr     = fs.String("obs", "", "serve live observability (/metrics, /progress, /events, /debug/pprof) on this address while soaking, e.g. 127.0.0.1:9464")
+		manifestOut = fs.String("manifest", "", "write a run manifest (provenance + final metrics/progress) to this file on a clean exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +118,48 @@ func run(args []string, stdout io.Writer) error {
 		return runSelftest(stdout)
 	}
 	tierDiff := !*noblocks && !*nopredecode
+
+	// Observability is opt-in: without -obs/-manifest every sink stays
+	// nil and the scheduler keeps its nil-check-only fast path.
+	ctx := context.Background()
+	var (
+		reg     *telemetry.Registry
+		rec     *telemetry.Recorder
+		tracker *sched.Tracker
+	)
+	runID := telemetry.NewRunID()
+	if *obsAddr != "" || *manifestOut != "" {
+		reg = telemetry.NewRegistry()
+		rec = telemetry.NewRecorder(0)
+		// Keep task stops in the ring — /events then tails one line per
+		// completed shard, the soak's live feed — but drop the starts,
+		// which would only halve the ring's reach. The counts census
+		// keeps both either way.
+		rec.Exclude(telemetry.KindTaskStart)
+		var logger *slog.Logger
+		if *obsAddr != "" {
+			logger = telemetry.NewLogger(os.Stderr, "difftest", runID)
+		}
+		tracker = sched.NewTracker(reg, rec, logger)
+		ctx = sched.WithPool(telemetry.WithRegistry(telemetry.NewContext(ctx, rec), reg),
+			tracker.Pool("difftest"))
+		if *obsAddr != "" {
+			obsCtx, obsCancel := context.WithCancel(context.Background())
+			defer obsCancel()
+			srv, err := obs.Serve(obsCtx, *obsAddr, obs.Options{
+				Tool: "difftest", RunID: runID, Log: logger,
+				Registry: reg, Recorder: rec, Tracker: tracker,
+			})
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			// A shard is milliseconds of work; a minute of silence means a
+			// wedged worker, and the goroutine dump is the evidence.
+			stopWatch := tracker.Watch(obsCtx, time.Minute)
+			defer stopWatch()
+		}
+	}
 
 	start := time.Now()
 	deadline := time.Duration(float64(time.Minute) * *minutes)
@@ -134,7 +182,7 @@ func run(args []string, stdout io.Writer) error {
 			break
 		}
 		base := uint64(wave) * waveSize
-		results, err := sched.Map(context.Background(), *workers, n, func(_ context.Context, i int) (shardResult, error) {
+		results, err := sched.Map(ctx, *workers, n, func(ctx context.Context, i int) (shardResult, error) {
 			shard := base + uint64(i)
 			s := sched.DeriveSeed(*seed, shard)
 			ring := configRing[shard%uint64(len(configRing))]
@@ -157,6 +205,7 @@ func run(args []string, stdout io.Writer) error {
 				}
 				sr.tierDiv = tres.Div
 			}
+			sched.ObserveInstrs(ctx, sr.steps)
 			return sr, nil
 		})
 		if err != nil {
@@ -165,6 +214,8 @@ func run(args []string, stdout io.Writer) error {
 		for _, r := range results {
 			total++
 			instret += r.steps
+			reg.Inc("difftest.programs")
+			reg.Add("difftest.instr_pairs", r.steps)
 			switch {
 			case r.div != nil:
 				return reportDivergence(stdout, *reproOut, r, *maxInstr)
@@ -191,6 +242,27 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "difftest: %d programs (%d halted, %d faulted, %d budget-capped), %d instr pairs, tier-diff %s, %.1fs, divergences: 0\n",
 		total, halted, faulted, budget, instret, mode, elapsed)
+	if *manifestOut != "" {
+		reg.Add("difftest.halted", uint64(halted))
+		reg.Add("difftest.faulted", uint64(faulted))
+		reg.Add("difftest.budget_capped", uint64(budget))
+		m := telemetry.NewManifest("difftest", args)
+		m.RunID = runID
+		m.Seed = *seed
+		m.Workers = sched.Workers(*workers)
+		m.Config = map[string]any{
+			"programs": *programs,
+			"minutes":  *minutes,
+			"maxinstr": *maxInstr,
+			"tierdiff": tierDiff,
+		}
+		m.RecordProgress(tracker.ManifestProgress())
+		m.Finish(start, reg, rec)
+		if err := m.WriteFile(*manifestOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote manifest %s\n", *manifestOut)
+	}
 	return nil
 }
 

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,7 +27,9 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -68,6 +71,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		traceOut  = fs.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
 		eventsOut = fs.String("trace-events", "", "write the raw JSONL event log to this file")
 		manifest  = fs.String("manifest", "", "write a run manifest to this file (default <csvdir>/manifest.json when -csvdir is set)")
+		obsAddr   = fs.String("obs", "", "serve live observability (/metrics, /progress, /events, /debug/pprof) on this address while running, e.g. 127.0.0.1:9464")
 
 		noblocks    = fs.Bool("noblocks", false, "disable the superblock tier (results identical, wall-clock slower)")
 		nopredecode = fs.Bool("nopredecode", false, "disable the predecode cache too (bare interpreter; implies -noblocks)")
@@ -103,14 +107,34 @@ func run(args []string, stdout io.Writer) (err error) {
 	// the invocation runs; the manifest then carries the aggregate
 	// metrics and per-kind event totals. All nil when nothing asked.
 	runStart := time.Now()
-	if *traceOut != "" || *eventsOut != "" || manifestPath != "" {
+	runID := telemetry.NewRunID()
+	if *traceOut != "" || *eventsOut != "" || manifestPath != "" || *obsAddr != "" {
 		cfg.Telemetry = telemetry.NewRecorder(0)
 		// Retirements would wrap the ring within ~65k instructions and
 		// evict the episode-structure events; keep them as counts.
 		cfg.Telemetry.Exclude(telemetry.KindRetire)
 	}
-	if manifestPath != "" {
+	if manifestPath != "" || *obsAddr != "" {
 		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if manifestPath != "" || *obsAddr != "" {
+		cfg.Tracker = sched.NewTracker(cfg.Metrics, cfg.Telemetry, nil)
+	}
+	if *obsAddr != "" {
+		logger := telemetry.NewLogger(os.Stderr, "experiments", runID)
+		cfg.Tracker = sched.NewTracker(cfg.Metrics, cfg.Telemetry, logger)
+		obsCtx, obsCancel := context.WithCancel(context.Background())
+		defer obsCancel()
+		srv, err := obs.Serve(obsCtx, *obsAddr, obs.Options{
+			Tool: "experiments", RunID: runID, Log: logger,
+			Registry: cfg.Metrics, Recorder: cfg.Telemetry, Tracker: cfg.Tracker,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		stopWatch := cfg.Tracker.Watch(obsCtx, 2*time.Minute)
+		defer stopWatch()
 	}
 
 	if !*all && *fig == "" && *table == "" && !*latency && !*recycle && !*alarms {
@@ -248,6 +272,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	if manifestPath != "" {
 		m := cfg.Manifest("experiments", args)
+		m.RunID = runID
 		cfg.FinishManifest(m, runStart)
 		if err := m.WriteFile(manifestPath); err != nil {
 			return err

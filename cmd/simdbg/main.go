@@ -10,6 +10,8 @@
 //	simdbg -host math -break workload_main          # stop at the kernel
 //	simdbg -host math -attack -events 40            # watch the hijack
 //	simdbg -host math -attack -trace t.json         # export for Perfetto
+//	simdbg -metrics out/manifest.json               # inspect a run's metrics
+//	simdbg -metrics 127.0.0.1:9464                  # ...or a live obs server's
 package main
 
 import (
@@ -45,9 +47,19 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace of the session to this file")
 		eventsOut = flag.String("trace-events", "", "write the raw JSONL event log to this file")
 		manifest  = flag.String("manifest", "", "write a session manifest to this file")
+		metrics   = flag.String("metrics", "", "dump the metrics of a run manifest file or a live obs server (host:port or URL) and exit")
 	)
 	flag.Parse()
 	start := time.Now()
+
+	if *metrics != "" {
+		// Metrics inspection is a standalone mode: no workload is
+		// loaded, the source is another run entirely.
+		if err := dumpMetrics(os.Stdout, *metrics); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	host, err := mibench.ByName(*hostName)
 	if err != nil {

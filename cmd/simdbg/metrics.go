@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// dumpMetrics renders a metrics snapshot from src — either a run
+// manifest on disk or a live obs server — as sorted, kind-annotated
+// lines: the debugger's view of what a run (finished or still going)
+// has counted. Sources:
+//
+//	simdbg -metrics out/manifest.json        # recorded snapshot
+//	simdbg -metrics 127.0.0.1:9464           # live /metrics.json
+//	simdbg -metrics http://host:9464         # same, explicit scheme
+func dumpMetrics(w io.Writer, src string) error {
+	snap, origin, err := loadMetrics(src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "metrics from %s", origin)
+	if snap.RunID != "" {
+		fmt.Fprintf(w, " (run %s)", snap.RunID)
+	}
+	fmt.Fprintln(w)
+	sort.Slice(snap.Metrics, func(i, j int) bool { return snap.Metrics[i].Name < snap.Metrics[j].Name })
+	for _, m := range snap.Metrics {
+		kind := "gauge"
+		if m.Counter {
+			kind = "counter"
+		}
+		fmt.Fprintf(w, "%-9s %-42s %g\n", kind, m.Name, m.Value)
+	}
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	for _, h := range snap.Histograms {
+		fmt.Fprintf(w, "%-9s %-42s count=%d sum=%d mean=%.1f", "histogram", h.Name, h.Count, h.Sum, h.Mean())
+		for _, b := range h.Buckets {
+			if b.Le == telemetry.HistOverflowLe {
+				fmt.Fprintf(w, " le=+Inf:%d", b.N)
+			} else {
+				fmt.Fprintf(w, " le=%d:%d", b.Le, b.N)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// loadMetrics resolves src to a snapshot: an http(s) URL or a bare
+// host:port hits the obs server's /metrics.json; anything that exists
+// on disk is read as a run manifest (whose flat metrics map plus the
+// metric_kinds annotations reconstruct the kinds).
+func loadMetrics(src string) (obs.MetricsSnapshot, string, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		return fetchMetrics(strings.TrimSuffix(src, "/") + "/metrics.json")
+	}
+	if _, err := os.Stat(src); err == nil {
+		return manifestMetrics(src)
+	}
+	if strings.Contains(src, ":") {
+		return fetchMetrics("http://" + src + "/metrics.json")
+	}
+	return obs.MetricsSnapshot{}, "", fmt.Errorf("metrics source %q is neither a readable file nor an obs address", src)
+}
+
+func fetchMetrics(url string) (obs.MetricsSnapshot, string, error) {
+	var snap obs.MetricsSnapshot
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, "", fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, "", fmt.Errorf("%s: %w", url, err)
+	}
+	return snap, url, nil
+}
+
+func manifestMetrics(path string) (obs.MetricsSnapshot, string, error) {
+	m, err := telemetry.ReadManifest(path)
+	if err != nil {
+		return obs.MetricsSnapshot{}, "", err
+	}
+	snap := obs.MetricsSnapshot{RunID: m.RunID, Histograms: m.Histograms}
+	for name, v := range m.Metrics {
+		// Manifests written before metric_kinds default to gauge — the
+		// conservative reading for an unannotated value.
+		snap.Metrics = append(snap.Metrics, telemetry.Metric{
+			Name: name, Value: v, Counter: m.MetricKinds[name] == "counter",
+		})
+	}
+	origin := fmt.Sprintf("%s (manifest, tool %s)", path, m.Tool)
+	return snap, origin, nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// buildManifest writes a small finished manifest to dir and returns its
+// path: one counter, one gauge, one histogram.
+func buildManifest(t *testing.T, dir string) string {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Add("sim.instrs", 1234)
+	reg.Set("sim.ipc", 0.75)
+	h := reg.Histogram("blocks.size_instrs", false)
+	h.ObserveN(3, 2)
+	h.ObserveN(32, 1)
+
+	m := telemetry.NewManifest("simdbg", nil)
+	m.RunID = "testrun01"
+	m.Finish(time.Now(), reg, nil)
+	path := filepath.Join(dir, "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDumpMetricsFromManifest(t *testing.T) {
+	path := buildManifest(t, t.TempDir())
+	var sb strings.Builder
+	if err := dumpMetrics(&sb, path); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"run testrun01",
+		"counter   sim.instrs",
+		"gauge     sim.ipc",
+		"histogram blocks.size_instrs",
+		"count=3 sum=38",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump lacks %q:\n%s", want, out)
+		}
+	}
+	// Rows sorted by name within each section.
+	if strings.Index(out, "sim.instrs") > strings.Index(out, "sim.ipc") {
+		t.Errorf("metric rows not sorted by name:\n%s", out)
+	}
+}
+
+func TestDumpMetricsFromObsServer(t *testing.T) {
+	snap := obs.MetricsSnapshot{
+		RunID: "liverun",
+		Metrics: []telemetry.Metric{
+			{Name: "difftest.programs", Value: 41, Counter: true},
+			{Name: "cpu_time_unsupported", Value: 1},
+		},
+		Histograms: []telemetry.HistogramSnapshot{{
+			Name: "sched.difftest.task_ms", Count: 4, Sum: 20,
+			Buckets: []telemetry.HistogramBucket{{Le: 8, N: 4}},
+		}},
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics.json" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(snap); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+
+	for _, src := range []string{srv.URL, strings.TrimPrefix(srv.URL, "http://")} {
+		var sb strings.Builder
+		if err := dumpMetrics(&sb, src); err != nil {
+			t.Fatalf("source %q: %v", src, err)
+		}
+		out := sb.String()
+		for _, want := range []string{
+			"run liverun",
+			"counter   difftest.programs",
+			"gauge     cpu_time_unsupported",
+			"histogram sched.difftest.task_ms",
+			"le=8:4",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("source %q: dump lacks %q:\n%s", src, want, out)
+			}
+		}
+	}
+}
+
+func TestDumpMetricsBadSource(t *testing.T) {
+	if err := dumpMetrics(os.Stderr, "no-such-file"); err == nil {
+		t.Fatal("want an error for a nonexistent source")
+	}
+}

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -41,7 +42,9 @@ import (
 	"repro/internal/gadget"
 	"repro/internal/isa"
 	"repro/internal/mibench"
+	"repro/internal/obs"
 	"repro/internal/rop"
+	"repro/internal/sched"
 	"repro/internal/spectre"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
@@ -73,6 +76,7 @@ func run(args []string, stdout io.Writer) error {
 		maxInstr = fs.Uint64("maxinstr", 200_000, "per-program retired-instruction budget in the soak")
 		jsonOut  = fs.String("json", "", "write the findings reports as JSON to this file")
 		metrics  = fs.Bool("metrics", false, "dump the telemetry registry after the run")
+		obsAddr  = fs.String("obs", "", "serve live observability (/metrics, /progress, /events, /debug/pprof) on this address while running")
 		verbose  = fs.Bool("v", false, "per-image detail lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +85,25 @@ func run(args []string, stdout io.Writer) error {
 
 	start := time.Now()
 	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	if *obsAddr != "" {
+		runID := telemetry.NewRunID()
+		logger := telemetry.NewLogger(os.Stderr, "speclint", runID)
+		tracker := sched.NewTracker(reg, nil, logger)
+		ctx = sched.WithPool(ctx, tracker.Pool("agreement-soak"))
+		obsCtx, obsCancel := context.WithCancel(context.Background())
+		defer obsCancel()
+		srv, err := obs.Serve(obsCtx, *obsAddr, obs.Options{
+			Tool: "speclint", RunID: runID, Log: logger,
+			Registry: reg, Tracker: tracker,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		stopWatch := tracker.Watch(obsCtx, time.Minute)
+		defer stopWatch()
+	}
 	reports, err := lintCorpus(stdout, reg, *verbose)
 	if err != nil {
 		return err
@@ -99,7 +122,7 @@ func run(args []string, stdout io.Writer) error {
 
 	disagreements := 0
 	if *progenN > 0 {
-		n, err := soakAgreement(stdout, reg, *seed, *progenN, *workers, *maxInstr, *verbose)
+		n, err := soakAgreement(ctx, stdout, reg, *seed, *progenN, *workers, *maxInstr, *verbose)
 		if err != nil {
 			return err
 		}
@@ -269,8 +292,8 @@ func checkHostPlanners(ci corpusImage, rep *analysis.Report, reg *telemetry.Regi
 // soakAgreement is the difftest-style static/dynamic cross-check: n
 // seeded gadget programs, each analyzed and executed, verdicts
 // compared. Returns the number of disagreements.
-func soakAgreement(stdout io.Writer, reg *telemetry.Registry, seed int64, n, workers int, maxInstr uint64, verbose bool) (int, error) {
-	results, err := analysis.SoakAgreement(seed, n, workers, cpu.DefaultConfig(), maxInstr)
+func soakAgreement(ctx context.Context, stdout io.Writer, reg *telemetry.Registry, seed int64, n, workers int, maxInstr uint64, verbose bool) (int, error) {
+	results, err := analysis.SoakAgreement(ctx, seed, n, workers, cpu.DefaultConfig(), maxInstr)
 	if err != nil {
 		return 0, err
 	}

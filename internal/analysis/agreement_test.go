@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/cpu"
@@ -25,7 +27,7 @@ func TestStaticDynamicAgreement(t *testing.T) {
 		seeds = 6
 	}
 	n := seeds * progen.NumGadgetKinds
-	results, err := SoakAgreement(1, n, 0, cfg, agreementBudget)
+	results, err := SoakAgreement(context.Background(), 1, n, 0, cfg, agreementBudget)
 	if err != nil {
 		t.Fatal(err)
 	}

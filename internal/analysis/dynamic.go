@@ -89,10 +89,11 @@ func (a Agreement) String() string {
 // SoakAgreement fans n agreement checks out over the sched pool,
 // cycling through every gadget kind and deriving one program seed per
 // kind-cycle from the base seed — the engine behind speclint's -progen
-// soak and TestStaticDynamicAgreement.
-func SoakAgreement(seed int64, n, workers int, cfg cpu.Config, maxInstr uint64) ([]Agreement, error) {
+// soak and TestStaticDynamicAgreement. The context carries the caller's
+// telemetry sinks and progress pool (if any) into the pool workers.
+func SoakAgreement(ctx context.Context, seed int64, n, workers int, cfg cpu.Config, maxInstr uint64) ([]Agreement, error) {
 	kinds := progen.GadgetKinds()
-	return sched.Map(context.Background(), workers, n, func(_ context.Context, i int) (Agreement, error) {
+	return sched.Map(ctx, workers, n, func(_ context.Context, i int) (Agreement, error) {
 		s := sched.DeriveSeed(seed, uint64(i/len(kinds)))
 		return CheckAgreement(s, kinds[i%len(kinds)], cfg, maxInstr)
 	})

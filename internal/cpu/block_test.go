@@ -421,3 +421,36 @@ func TestBlockKindLabels(t *testing.T) {
 		}
 	}
 }
+
+// TestBlockStatsSizesSumToCompiled: every compiled (counted) block lands
+// in exactly one Sizes cell, so the per-size census and the Compiled
+// total are two views of the same events — the invariant the telemetry
+// block-size histogram depends on for exact sums.
+func TestBlockStatsSizesSumToCompiled(t *testing.T) {
+	src := `
+		movi r1, 200
+		movi r2, 0
+	loop:
+		add r2, r2, r1
+		subi r1, r1, 1
+		cmpi r1, 0
+		jne loop
+		halt
+	`
+	c, _ := load(t, src, DefaultConfig())
+	mustRun(t, c, 100000)
+	st := c.BlockStats()
+	if st.Compiled == 0 {
+		t.Fatal("nothing compiled")
+	}
+	var sum uint64
+	for size, n := range st.Sizes {
+		if n > 0 && size == 0 {
+			t.Errorf("zero-retire block counted in Sizes")
+		}
+		sum += n
+	}
+	if sum != st.Compiled {
+		t.Errorf("Sizes sum %d != Compiled %d", sum, st.Compiled)
+	}
+}

@@ -205,6 +205,9 @@ func (c *CPU) lookupBlock(pc uint64) *block {
 	if b != nil {
 		if b.nretire > 0 {
 			c.blkCompiled++
+			if b.nretire < len(c.blkSizes) {
+				c.blkSizes[b.nretire]++
+			}
 		}
 		*slot = b
 	}
@@ -247,11 +250,22 @@ type BlockStats struct {
 	Compiled      uint64 // blocks translated (excludes negative entries)
 	Hits          uint64 // block executions served from the cache
 	Invalidations uint64 // stale blocks that failed byte-revalidation
+	// Sizes counts compilations by block size: Sizes[n] is how many
+	// compiled blocks retire n instructions per full execution. A fixed
+	// array (a fused terminator adds two on top of the maxBlockOps body)
+	// so BlockStats stays comparable; exact per-size counts let the
+	// telemetry layer rebuild the block-size histogram with exact sums.
+	Sizes [maxBlockOps + 3]uint64
 }
 
 // BlockStats returns the current block-cache counters.
 func (c *CPU) BlockStats() BlockStats {
-	return BlockStats{Compiled: c.blkCompiled, Hits: c.blkHits, Invalidations: c.blkInval}
+	return BlockStats{
+		Compiled:      c.blkCompiled,
+		Hits:          c.blkHits,
+		Invalidations: c.blkInval,
+		Sizes:         c.blkSizes,
+	}
 }
 
 // BlockInfo describes one live block-cache entry (simdbg -blocks).

@@ -201,6 +201,7 @@ type CPU struct {
 	blkCompiled uint64
 	blkHits     uint64
 	blkInval    uint64
+	blkSizes    [maxBlockOps + 3]uint64 // compilations by retired-instruction count
 	bcache      [bcacheSize]*block
 
 	// stopCycle is Run's cycle horizon (RunUntilCycle): execution stops

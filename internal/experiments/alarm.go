@@ -123,7 +123,7 @@ func RunLevelDetection(cfg Config, policies []AlarmPolicy, crRuns int) ([]AlarmR
 	// and the detector is frozen (Predict is read-only), so both run
 	// sets fan out across the pool.
 	benignRuns := mibench.AllWithBackgrounds()
-	benignSeqs, err := sched.Map(cfg.ctx(), cfg.workers(), len(benignRuns),
+	benignSeqs, err := sched.Map(cfg.ctx("alarm-benign"), cfg.workers(), len(benignRuns),
 		func(_ context.Context, i int) ([]int, error) {
 			samples, _, err := cfg.benignRun(benignRuns[i], cfg.Seed*53+int64(i))
 			if err != nil {
@@ -140,7 +140,7 @@ func RunLevelDetection(cfg Config, policies []AlarmPolicy, crRuns int) ([]AlarmR
 	}
 	variant := perturb.Paper()
 	variant.Delay = 120
-	crSeqs, err := sched.Map(cfg.ctx(), cfg.workers(), crRuns,
+	crSeqs, err := sched.Map(cfg.ctx("alarm-crspectre"), cfg.workers(), crRuns,
 		func(_ context.Context, r int) ([]int, error) {
 			cr, err := cfg.crRun(host, AttackSpec{
 				Variant: spectre.V1BoundsCheck, Perturb: &variant, ProbeDelay: 350,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/mibench"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -118,6 +119,11 @@ func TestDeterminismManifest(t *testing.T) {
 		cfg := detCfg(workers)
 		cfg.Telemetry = telemetry.NewRecorder(256) // tiny ring: counts must not care
 		cfg.Metrics = telemetry.NewRegistry()
+		// The tracker rides along: its manifest snapshot (pool lifecycle
+		// totals, instruction counts) is part of the invariance contract,
+		// while its wall-clock surface (latency histograms, rates) must
+		// stay out of the manifest entirely.
+		cfg.Tracker = sched.NewTracker(cfg.Metrics, cfg.Telemetry, nil)
 		if _, err := cfg.AttackCorpus(24); err != nil {
 			t.Fatal(err)
 		}
@@ -134,6 +140,12 @@ func TestDeterminismManifest(t *testing.T) {
 	m1, m4 := build(1), build(4)
 	if !bytes.Equal(m1, m4) {
 		t.Errorf("manifests differ between Workers=1 and Workers=4:\n%s\nvs\n%s", m1, m4)
+	}
+	if !bytes.Contains(m1, []byte(`"attack-corpus"`)) {
+		t.Error("manifest lacks the attack-corpus progress pool")
+	}
+	if bytes.Contains(m1, []byte("task_ms")) {
+		t.Error("wall-clock latency histogram leaked into the manifest")
 	}
 	if m4b := build(4); !bytes.Equal(m4, m4b) {
 		t.Error("two Workers=4 manifests with the same seed differ")

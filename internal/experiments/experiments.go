@@ -85,16 +85,23 @@ type Config struct {
 	// Metrics, when non-nil, accumulates named counters (pool stats,
 	// end-of-run PMU publication) for the run manifest.
 	Metrics *telemetry.Registry
+	// Tracker, when non-nil, aggregates per-pool campaign progress
+	// (lifecycle counts, task latencies, instruction throughput) for the
+	// obs server's /progress endpoint and the manifest's final progress
+	// snapshot. Nil keeps the scheduler on its nil-check-only fast path.
+	Tracker *sched.Tracker
 }
 
 // workers resolves the configured fan-out width.
 func (cfg Config) workers() int { return sched.Workers(cfg.Workers) }
 
 // ctx returns the context experiment drivers hand to the worker pool,
-// carrying the configured telemetry sinks (both nil-safe).
-func (cfg Config) ctx() context.Context {
-	return telemetry.WithRegistry(
+// carrying the configured telemetry sinks plus the named progress pool
+// (all nil-safe; an absent tracker hands the pool carrier a nil pool).
+func (cfg Config) ctx(pool string) context.Context {
+	ctx := telemetry.WithRegistry(
 		telemetry.NewContext(context.Background(), cfg.Telemetry), cfg.Metrics)
+	return sched.WithPool(ctx, cfg.Tracker.Pool(pool))
 }
 
 // DefaultConfig returns the configuration used by the cmd tools.
@@ -390,18 +397,19 @@ func (cfg Config) BenignCorpus(workloads []mibench.Workload, total int) (*trace.
 		return set, nil
 	}
 	quota := (total + len(workloads) - 1) / len(workloads)
-	parts, err := sched.Map(cfg.ctx(), cfg.workers(), len(workloads),
-		func(_ context.Context, i int) (*trace.Set, error) {
+	parts, err := sched.Map(cfg.ctx("benign-corpus"), cfg.workers(), len(workloads),
+		func(ctx context.Context, i int) (*trace.Set, error) {
 			w := workloads[i]
 			part := trace.NewSet(pmu.AllEvents())
 			base := sched.DeriveSeed(cfg.Seed*7919, uint64(i))
 			got := 0
 			for rep := 0; got < quota && rep < 200; rep++ {
 				seed := sched.DeriveSeed(base, uint64(rep))
-				samples, _, err := cfg.benignRun(w, seed)
+				samples, m, err := cfg.benignRun(w, seed)
 				if err != nil {
 					return nil, err
 				}
+				sched.ObserveInstrs(ctx, m.CPU.Instret())
 				samples = subsample(samples, quota-got)
 				part.AddNoisy(w.Name, trace.LabelBenign, samples, cfg.NoiseSigma, seed)
 				got += len(samples)
@@ -430,18 +438,19 @@ func (cfg Config) AttackCorpus(total int) (*trace.Set, error) {
 		return set, nil
 	}
 	quota := (total + len(variants) - 1) / len(variants)
-	parts, err := sched.Map(cfg.ctx(), cfg.workers(), len(variants),
-		func(_ context.Context, i int) (*trace.Set, error) {
+	parts, err := sched.Map(cfg.ctx("attack-corpus"), cfg.workers(), len(variants),
+		func(ctx context.Context, i int) (*trace.Set, error) {
 			v := variants[i]
 			part := trace.NewSet(pmu.AllEvents())
 			base := sched.DeriveSeed(cfg.Seed*104729, uint64(i))
 			got := 0
 			for rep := 0; got < quota && rep < 200; rep++ {
 				seed := sched.DeriveSeed(base, uint64(rep))
-				samples, _, err := cfg.standaloneRun(AttackSpec{Variant: v}, seed)
+				samples, m, err := cfg.standaloneRun(AttackSpec{Variant: v}, seed)
 				if err != nil {
 					return nil, err
 				}
+				sched.ObserveInstrs(ctx, m.CPU.Instret())
 				samples = subsample(samples, quota-got)
 				part.AddNoisy("spectre-"+v.String(), trace.LabelAttack, samples, cfg.NoiseSigma, seed)
 				got += len(samples)

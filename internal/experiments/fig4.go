@@ -48,7 +48,7 @@ func Fig4(cfg Config) ([]Fig4Row, error) {
 		return nil, fmt.Errorf("fig4: attack corpus: %w", err)
 	}
 	hosts := Fig4Hosts()
-	benign, err := sched.Map(cfg.ctx(), cfg.workers(), len(hosts),
+	benign, err := sched.Map(cfg.ctx("fig4-benign"), cfg.workers(), len(hosts),
 		func(_ context.Context, i int) (*trace.Set, error) {
 			// The benign class is the host plus the background applications
 			// (the paper's "browsers, text editors, etc." profiling scope).
@@ -63,7 +63,7 @@ func Fig4(cfg Config) ([]Fig4Row, error) {
 		return nil, err
 	}
 
-	rows, err := sched.Map(cfg.ctx(), cfg.workers(), len(Fig4FeatureSizes)*len(hosts),
+	rows, err := sched.Map(cfg.ctx("fig4-sweep"), cfg.workers(), len(Fig4FeatureSizes)*len(hosts),
 		func(_ context.Context, cell int) (Fig4Row, error) {
 			size := Fig4FeatureSizes[cell/len(hosts)]
 			i := cell % len(hosts)

@@ -162,7 +162,7 @@ func (cfg Config) campaign(online bool) (*CampaignResult, error) {
 				ProbeDelay: pd,
 			}
 		}
-		sims, err := sched.Map(cfg.ctx(), cfg.workers(), 1+len(crStates),
+		sims, err := sched.Map(cfg.ctx("campaign"), cfg.workers(), 1+len(crStates),
 			func(_ context.Context, t int) (attemptSims, error) {
 				if t == 0 {
 					samples, m, err := cfg.standaloneRun(spec, seed)

@@ -61,7 +61,7 @@ func DetectionLatency(cfg Config, maxBatches int) ([]LatencyRow, error) {
 	// own variant, own seed stream), so the classifiers fan out across
 	// the pool; within one classifier the observe/retrain rounds remain
 	// inherently sequential.
-	return sched.Map(cfg.ctx(), cfg.workers(), len(cfg.Classifiers),
+	return sched.Map(cfg.ctx("latency"), cfg.workers(), len(cfg.Classifiers),
 		func(_ context.Context, i int) (LatencyRow, error) {
 			name := cfg.Classifiers[i]
 			clf, ok := ml.ByName(name, cfg.Seed+int64(i))

@@ -41,6 +41,9 @@ func (cfg Config) Manifest(tool string, args []string) *telemetry.Manifest {
 
 // FinishManifest stamps timings and drains the configured telemetry
 // sinks into m (the convenience the cmd tools call before writing).
+// With a Tracker configured the manifest also records the final
+// campaign-progress snapshot — the worker-count-invariant subset only.
 func (cfg Config) FinishManifest(m *telemetry.Manifest, start time.Time) {
+	m.RecordProgress(cfg.Tracker.ManifestProgress())
 	m.Finish(start, cfg.Metrics, cfg.Telemetry)
 }

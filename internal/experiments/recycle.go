@@ -121,7 +121,7 @@ func VariantRecycling(cfg Config, window int) ([]RecycleRow, error) {
 	// replays them in round order.
 	const decoyRounds = 6
 	decoyBase := seed
-	decoys, err := sched.Map(cfg.ctx(), cfg.workers(), decoyRounds,
+	decoys, err := sched.Map(cfg.ctx("recycle-decoys"), cfg.workers(), decoyRounds,
 		func(_ context.Context, r int) (ml.Dataset, error) {
 			return runEval(nil, 0, decoyBase+1+int64(r))
 		})

@@ -54,7 +54,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 // the sequential implementation, so the table is byte-identical for any
 // Workers setting.
 func Table1For(cfg Config, workloads []mibench.Workload) ([]Table1Row, error) {
-	return sched.Map(cfg.ctx(), cfg.workers(), len(workloads),
+	return sched.Map(cfg.ctx("table1"), cfg.workers(), len(workloads),
 		func(_ context.Context, i int) (Table1Row, error) {
 			w := workloads[i]
 			row := Table1Row{Benchmark: w.Name}
@@ -108,7 +108,7 @@ func (cfg Config) avgIPC(run func(seed int64) (float64, error)) (float64, error)
 	if reps <= 0 {
 		reps = 3
 	}
-	vals, err := sched.Map(cfg.ctx(), cfg.workers(), reps,
+	vals, err := sched.Map(cfg.ctx("table1-reps"), cfg.workers(), reps,
 		func(_ context.Context, r int) (float64, error) {
 			return run(cfg.Seed + int64(r)*337)
 		})

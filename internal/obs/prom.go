@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// writePrometheus renders the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges first, then
+// histograms, each preceded by a # TYPE line, all sorted by name so the
+// output is byte-stable for a fixed registry state. Dotted registry
+// names become underscore-separated Prometheus names (sched.panics →
+// sched_panics); no other renaming (in particular no _total suffixing)
+// is applied, keeping /metrics rows greppable by their registry names.
+// A nil registry renders an empty (valid) exposition.
+func writePrometheus(w io.Writer, reg *telemetry.Registry) {
+	for _, m := range reg.Snapshot() {
+		name := promName(m.Name)
+		kind := "gauge"
+		if m.Counter {
+			kind = "counter"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(m.Value, 'g', -1, 64))
+	}
+	for _, h := range reg.HistogramSnapshots(true) {
+		name := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.N
+			if b.Le == telemetry.HistOverflowLe {
+				// The overflow bucket is the +Inf row below.
+				continue
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+// promName maps a registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], with a leading underscore if the first rune
+// would otherwise be a digit.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // digit in first position
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

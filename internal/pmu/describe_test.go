@@ -105,3 +105,25 @@ func TestPublishBridgesSnapshotToRegistry(t *testing.T) {
 	// Nil registry must be a safe no-op.
 	Publish(nil, "pmu.", d)
 }
+
+func TestPublishBlocksFoldsSizesIntoHistogram(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var s cpu.BlockStats
+	s.Compiled = 5
+	s.Sizes[3] = 2 // two 3-instruction blocks
+	s.Sizes[32] = 3
+	// Two cores' worth, as an experiment fanning out machines would.
+	PublishBlocks(reg, "blocks.", s)
+	PublishBlocks(reg, "blocks.", s)
+	if got := reg.Values()["blocks.compiled"]; got != 10 {
+		t.Errorf("blocks.compiled = %v, want 10", got)
+	}
+	hs := reg.HistogramSnapshots(false)
+	if len(hs) != 1 || hs[0].Name != "blocks.size_instrs" {
+		t.Fatalf("histograms: %+v", hs)
+	}
+	if hs[0].Count != 10 || hs[0].Sum != 2*(3*2+32*3) {
+		t.Errorf("histogram count=%d sum=%d, want 10/%d", hs[0].Count, hs[0].Sum, 2*(3*2+32*3))
+	}
+	PublishBlocks(nil, "blocks.", s) // nil registry: no-op
+}

@@ -21,10 +21,12 @@ func Publish(reg *telemetry.Registry, prefix string, d cpu.Snapshot) {
 
 // PublishBlocks accumulates a finished core's block-cache counters into
 // the registry as "<prefix>compiled", "<prefix>hits" and
-// "<prefix>invalidations". Unlike the gauge-based Publish these use Add:
-// every machine an experiment runs contributes its counts, and uint64
-// addition commutes, so the totals are byte-identical for any worker
-// fan-out. A nil registry is a no-op.
+// "<prefix>invalidations", and folds the per-size compile counts into
+// the "<prefix>size_instrs" histogram. Unlike the gauge-based Publish
+// these use Add/ObserveN: every machine an experiment runs contributes
+// its counts, and uint64 addition commutes, so the totals — histogram
+// included, since per-size counts are exact rather than sampled — are
+// byte-identical for any worker fan-out. A nil registry is a no-op.
 func PublishBlocks(reg *telemetry.Registry, prefix string, s cpu.BlockStats) {
 	if reg == nil {
 		return
@@ -32,4 +34,10 @@ func PublishBlocks(reg *telemetry.Registry, prefix string, s cpu.BlockStats) {
 	reg.Add(prefix+"compiled", s.Compiled)
 	reg.Add(prefix+"hits", s.Hits)
 	reg.Add(prefix+"invalidations", s.Invalidations)
+	h := reg.Histogram(prefix+"size_instrs", false)
+	for size, n := range s.Sizes {
+		if n > 0 {
+			h.ObserveN(uint64(size), n)
+		}
+	}
 }

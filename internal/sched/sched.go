@@ -103,10 +103,13 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// Telemetry sinks ride the context (the Map signature predates them);
-	// both are nil-safe, so unobserved pools pay only these two lookups.
+	// Telemetry sinks and the progress pool ride the context (the Map
+	// signature predates them); all are nil-safe, so unobserved pools pay
+	// only these three lookups.
 	rec := telemetry.FromContext(ctx)
 	reg := telemetry.RegistryFrom(ctx)
+	pool := PoolFrom(ctx)
+	pool.taskSubmitted(uint64(n))
 
 	errs := make([]error, n)
 	var (
@@ -123,10 +126,12 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				rec.Emit(telemetry.Event{Kind: telemetry.KindTaskStop, Addr: uint64(task)})
 			}
 			reg.Inc("sched.tasks_completed")
+			pool.taskDone(task, err != nil)
 		}()
 		if rec != nil {
 			rec.Emit(telemetry.Event{Kind: telemetry.KindTaskStart, Addr: uint64(task)})
 		}
+		pool.taskStarted(task)
 		results[task], err = fn(pctx, task)
 		return err
 	}

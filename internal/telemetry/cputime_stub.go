@@ -2,5 +2,10 @@
 
 package telemetry
 
-// processCPUSeconds is unavailable on this platform.
+// processCPUSeconds is unavailable on this platform. Manifest.Finish
+// surfaces the gap as an explicit cpu_time_unsupported gauge instead of
+// letting the zero masquerade as a measurement.
 func processCPUSeconds() float64 { return 0 }
+
+// cpuTimeSupported reports that CPU-time accounting is stubbed out here.
+const cpuTimeSupported = false

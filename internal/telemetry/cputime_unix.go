@@ -16,3 +16,6 @@ func processCPUSeconds() float64 {
 	}
 	return sec(ru.Utime) + sec(ru.Stime)
 }
+
+// cpuTimeSupported reports that getrusage-backed CPU time is available.
+const cpuTimeSupported = true

@@ -67,7 +67,8 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Args: map[string]any{"addr": hexArg(ev.Addr)},
 			})
 		case KindCacheEvict, KindCacheFlush, KindBranchMispredict,
-			KindRetPivot, KindStackSmash, KindCovertProbe, KindExec, KindRopPlan:
+			KindRetPivot, KindStackSmash, KindCovertProbe, KindExec, KindRopPlan,
+			KindSchedStall:
 			out = append(out, chromeEvent{
 				Name: ev.Kind.String(), Cat: "event", Ph: "i", TS: ev.Cycle, S: "t",
 				Args: map[string]any{
@@ -108,14 +109,26 @@ type jsonlEvent struct {
 func WriteJSONL(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
 	for _, ev := range events {
-		if err := enc.Encode(jsonlEvent{
-			Seq: ev.Seq, Kind: ev.Kind.String(), Cycle: ev.Cycle,
-			PC: ev.PC, Addr: ev.Addr, Val: ev.Val, Level: ev.Level,
-		}); err != nil {
+		if err := enc.Encode(ev.jsonl()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// jsonl converts an event to its wire form.
+func (ev Event) jsonl() jsonlEvent {
+	return jsonlEvent{
+		Seq: ev.Seq, Kind: ev.Kind.String(), Cycle: ev.Cycle,
+		PC: ev.PC, Addr: ev.Addr, Val: ev.Val, Level: ev.Level,
+	}
+}
+
+// MarshalJSONL renders one event as its JSONL wire form, without the
+// trailing newline — the building block the obs /events stream shares
+// with WriteJSONL.
+func (ev Event) MarshalJSONL() ([]byte, error) {
+	return json.Marshal(ev.jsonl())
 }
 
 // exportFile creates path (making parent directories) and streams the
@@ -153,16 +166,12 @@ func WriteJSONLFile(path string, events []Event) error {
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	dec := json.NewDecoder(r)
 	var out []Event
-	byName := map[string]Kind{}
-	for k := Kind(0); k < NumKinds; k++ {
-		byName[k.String()] = k
-	}
 	for dec.More() {
 		var je jsonlEvent
 		if err := dec.Decode(&je); err != nil {
 			return nil, fmt.Errorf("telemetry: jsonl: %w", err)
 		}
-		k, ok := byName[je.Kind]
+		k, ok := KindByName(je.Kind)
 		if !ok {
 			return nil, fmt.Errorf("telemetry: jsonl: unknown kind %q", je.Kind)
 		}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// NumHistBuckets is the fixed bucket count of every Histogram: bucket 0
+// holds observations <= 1, bucket i (1..31) holds (2^(i-1), 2^i], and
+// bucket 32 is the overflow (> 2^31, rendered as +Inf). The layout is
+// compile-time fixed so snapshots from any two histograms merge
+// bucket-for-bucket and serialised output never depends on which values
+// happened to be observed.
+const NumHistBuckets = 33
+
+// HistOverflowLe is the sentinel upper bound of the overflow bucket
+// (the Prometheus +Inf bucket) in snapshots.
+const HistOverflowLe = math.MaxUint64
+
+// Histogram is a fixed-bucket power-of-two histogram for non-negative
+// integer observations (latencies in milliseconds, block sizes in
+// instructions, task instruction counts). Buckets never reallocate and
+// bucket boundaries never depend on the data, so two histograms fed the
+// same multiset of observations — in any order, from any number of
+// goroutines — produce byte-identical snapshots. A nil *Histogram is
+// the disabled state: every method is a no-op, mirroring the
+// registry/recorder contract.
+type Histogram struct {
+	mu       sync.Mutex
+	name     string
+	volatile bool
+	counts   [NumHistBuckets]uint64
+	sum      uint64
+	total    uint64
+}
+
+// NewHistogram builds a standalone histogram. Volatile marks wall-clock
+// derived data (task latencies): volatile histograms are served live by
+// the obs endpoints but excluded from run manifests, whose every
+// published number must be worker-count-invariant.
+func NewHistogram(name string, volatile bool) *Histogram {
+	return &Histogram{name: name, volatile: volatile}
+}
+
+// bucketOf maps a value to its fixed bucket index.
+func bucketOf(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(v - 1) // v in (2^(b-1), 2^b]
+	if b >= NumHistBuckets {
+		return NumHistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) { h.ObserveN(v, 1) }
+
+// ObserveN records the value n times (bulk merge of pre-counted data,
+// e.g. per-size block-compile counts). Sum accumulation is exact, so
+// totals stay commutative and worker-count-invariant.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.counts[bucketOf(v)] += n
+	h.sum += v * n
+	h.total += n
+	h.mu.Unlock()
+}
+
+// Merge folds a snapshot (typically from another shard's histogram of
+// the same layout) into this histogram.
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for _, b := range s.Buckets {
+		h.counts[bucketOfLe(b.Le)] += b.N
+	}
+	h.sum += s.Sum
+	h.total += s.Count
+	h.mu.Unlock()
+}
+
+// bucketOfLe maps a snapshot bucket bound back to its index.
+func bucketOfLe(le uint64) int {
+	if le == HistOverflowLe {
+		return NumHistBuckets - 1
+	}
+	return bucketOf(le)
+}
+
+// HistogramBucket is one non-empty bucket in a snapshot: N observations
+// with value <= Le (and greater than the previous bucket's bound).
+// Le == HistOverflowLe marks the overflow (+Inf) bucket.
+type HistogramBucket struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistogramSnapshot is the deterministic serialised form: buckets in
+// ascending bound order, empty buckets omitted, JSON field order fixed
+// by the struct. Two histograms fed the same observations encode
+// byte-identically.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Volatile reports whether the histogram holds wall-clock-derived data
+// (excluded from manifests).
+func (h *Histogram) Volatile() bool {
+	if h == nil {
+		return false
+	}
+	return h.volatile
+}
+
+// Snapshot returns the deterministic snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Name: h.name, Count: h.total, Sum: h.sum}
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		le := uint64(HistOverflowLe)
+		if i < NumHistBuckets-1 {
+			le = 1 << i
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{Le: le, N: n})
+	}
+	return s
+}

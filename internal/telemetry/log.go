@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"os"
+	"time"
+)
+
+// NewRunID returns a fresh 16-hex-character run identifier. Run IDs key
+// structured log records, the obs /buildz endpoint and manifests to one
+// process invocation; they are host-side provenance, never simulated
+// state, so entropy here cannot affect determinism.
+func NewRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: still unique enough to disambiguate local runs.
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano())^uint64(os.Getpid())<<32)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewLogger builds the platform's structured logger: JSON records to w,
+// every record stamped with the tool name and run ID so interleaved
+// logs from concurrent campaigns stay attributable. The obs server and
+// the scheduler watchdog log through this.
+func NewLogger(w io.Writer, tool, runID string) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	return slog.New(h).With("tool", tool, "run_id", runID)
+}

@@ -40,6 +40,7 @@ type HostInfo struct {
 type Manifest struct {
 	Schema  string             `json:"schema"`
 	Tool    string             `json:"tool"`
+	RunID   string             `json:"run_id,omitempty"`
 	Args    []string           `json:"args,omitempty"`
 	Config  map[string]any     `json:"config,omitempty"`
 	Seed    int64              `json:"seed,omitempty"`
@@ -50,10 +51,45 @@ type Manifest struct {
 	Build   BuildInfo          `json:"build,omitempty"`
 	Host    HostInfo           `json:"host,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// MetricKinds distinguishes each Metrics entry as "counter" or
+	// "gauge" (schema note: additive in-place extension of v1; absent in
+	// manifests written before the obs subsystem). Histograms are not
+	// flattened into Metrics — they land structured in Histograms.
+	MetricKinds map[string]string `json:"metric_kinds,omitempty"`
+	// Histograms holds the registry's deterministic fixed-bucket
+	// histograms (block-compile sizes, task instruction counts).
+	// Volatile histograms — wall-clock task latencies — are excluded:
+	// every number recorded here is worker-count-invariant, like every
+	// other published metric. Sorted by name.
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	// Progress is the final campaign-progress snapshot, one entry per
+	// scheduler pool, sorted by pool name. Only the invariant lifecycle
+	// totals are recorded (submitted/done/failed/instrs); rates, ETAs
+	// and latency distributions are live-only obs surface.
+	Progress []ProgressPool `json:"progress,omitempty"`
 	// Events holds the recorder's monotonic per-kind totals — capacity-
 	// and scheduling-independent, so deterministic across worker counts.
 	Events map[string]uint64 `json:"events,omitempty"`
 }
+
+// ProgressPool is the manifest-recorded (worker-count-invariant) subset
+// of one scheduler pool's progress. Defined here rather than in
+// internal/sched so the manifest does not import the scheduler.
+type ProgressPool struct {
+	Name      string `json:"name"`
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed,omitempty"`
+	// Instrs is the total simulated instructions the pool's tasks
+	// reported retiring (sched.ObserveInstrs).
+	Instrs uint64 `json:"instrs,omitempty"`
+}
+
+// CPUTimeSupported reports whether processCPUSeconds returns a real
+// measurement on this platform (false on the non-unix stub, where
+// manifests carry an explicit cpu_time_unsupported gauge instead of a
+// misleading zero).
+func CPUTimeSupported() bool { return cpuTimeSupported }
 
 // NewManifest starts a manifest for the named tool, stamping build and
 // host provenance. Callers fill Config/Seed/Workers and call Finish
@@ -91,16 +127,39 @@ func NewManifest(tool string, args []string) *Manifest {
 }
 
 // Finish stamps timings and drains the telemetry sinks (either may be
-// nil) into the manifest. start is the moment the run began.
+// nil) into the manifest. start is the moment the run began. On
+// platforms without CPU-time accounting the misleading zero CPUSec is
+// accompanied by an explicit cpu_time_unsupported gauge.
 func (m *Manifest) Finish(start time.Time, reg *Registry, rec *Recorder) {
 	m.WallSec = time.Since(start).Seconds()
 	m.CPUSec = processCPUSeconds()
+	if !cpuTimeSupported {
+		reg.Set("cpu_time_unsupported", 1)
+	}
 	if reg != nil {
-		m.Metrics = reg.Values()
+		snap := reg.Snapshot()
+		m.Metrics = make(map[string]float64, len(snap))
+		m.MetricKinds = make(map[string]string, len(snap))
+		for _, mt := range snap {
+			m.Metrics[mt.Name] = mt.Value
+			kind := "gauge"
+			if mt.Counter {
+				kind = "counter"
+			}
+			m.MetricKinds[mt.Name] = kind
+		}
+		m.Histograms = reg.HistogramSnapshots(false)
 	}
 	if rec != nil {
 		m.Events = rec.Counts()
 	}
+}
+
+// RecordProgress stores the final campaign-progress snapshot (the
+// invariant subset; see ProgressPool). Callers hand in what
+// sched.Tracker.ManifestProgress returns.
+func (m *Manifest) RecordProgress(pools []ProgressPool) {
+	m.Progress = pools
 }
 
 // ZeroVolatile clears every field that legitimately differs between two
@@ -108,6 +167,7 @@ func (m *Manifest) Finish(start time.Time, reg *Registry, rec *Recorder) {
 // stamp, and argv — leaving only content that must be deterministic.
 // The determinism suite compares manifests after this pass.
 func (m *Manifest) ZeroVolatile() {
+	m.RunID = ""
 	m.Args = nil
 	m.Start = ""
 	m.WallSec = 0

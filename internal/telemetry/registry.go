@@ -17,6 +17,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]uint64
 	gauges   map[string]float64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry builds an empty registry.
@@ -24,6 +25,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]uint64{},
 		gauges:   map[string]float64{},
+		hists:    map[string]*Histogram{},
 	}
 }
 
@@ -49,6 +51,49 @@ func (r *Registry) Set(name string, v float64) {
 	r.mu.Lock()
 	r.gauges[name] = v
 	r.mu.Unlock()
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it on
+// first use. The volatile flag is fixed at creation (the first caller
+// wins); see NewHistogram for its meaning. A nil registry returns a nil
+// histogram, whose methods are all no-ops — the disabled path costs the
+// callers one nil check, nothing else.
+func (r *Registry) Histogram(name string, volatile bool) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(name, volatile)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshots returns every registered histogram's snapshot
+// sorted by name. With includeVolatile false, wall-clock-derived
+// histograms (task latencies) are dropped — the manifest view, where
+// every published number must be worker-count-invariant.
+func (r *Registry) HistogramSnapshots(includeVolatile bool) []HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		if includeVolatile || !h.volatile {
+			hists = append(hists, h)
+		}
+	}
+	r.mu.Unlock()
+	out := make([]HistogramSnapshot, 0, len(hists))
+	for _, h := range hists {
+		out = append(out, h.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Metric is one named value in a snapshot.
@@ -92,8 +137,8 @@ func (r *Registry) Values() map[string]float64 {
 	return out
 }
 
-// Write renders the snapshot as aligned "name value" lines (debug/CLI
-// output).
+// Write renders the snapshot — counters, gauges, then histograms — as
+// aligned "name kind value" lines (debug/CLI output).
 func (r *Registry) Write(w io.Writer) error {
 	for _, m := range r.Snapshot() {
 		kind := "gauge"
@@ -101,6 +146,12 @@ func (r *Registry) Write(w io.Writer) error {
 			kind = "counter"
 		}
 		if _, err := fmt.Fprintf(w, "%-40s %-8s %g\n", m.Name, kind, m.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.HistogramSnapshots(true) {
+		if _, err := fmt.Fprintf(w, "%-40s %-8s count=%d sum=%d mean=%.1f\n",
+			h.Name, "histogram", h.Count, h.Sum, h.Mean()); err != nil {
 			return err
 		}
 	}

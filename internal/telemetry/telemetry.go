@@ -74,6 +74,10 @@ const (
 	// KindRopPlan records a built injection plan; Val is the chain
 	// length in words, Addr the payload size in bytes.
 	KindRopPlan
+	// KindSchedStall is the stuck-worker watchdog firing: a pool task
+	// exceeded its deadline. Addr is the task index, Val the seconds the
+	// task has been running.
+	KindSchedStall
 
 	NumKinds // sentinel
 )
@@ -93,6 +97,18 @@ var kindNames = [NumKinds]string{
 	KindTaskStart:        "task_start",
 	KindTaskStop:         "task_stop",
 	KindRopPlan:          "rop_plan",
+	KindSchedStall:       "sched_stall",
+}
+
+// KindByName resolves a wire name back to its Kind (the inverse of
+// String; used by the obs event stream's kind filter and ReadJSONL).
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if kindNames[k] == name {
+			return k, true
+		}
+	}
+	return NumKinds, false
 }
 
 // String returns the kind's stable wire name (used by both exporters and
@@ -193,6 +209,40 @@ func (r *Recorder) Events() []Event {
 		out = append(out, r.buf[(start+i)%len(r.buf)])
 	}
 	return out
+}
+
+// EventsSince returns the retained events whose sequence number is >=
+// cursor, oldest first, plus the next cursor to resume from. It is the
+// tailing primitive behind the obs server's /events stream: a client
+// repeatedly calls EventsSince with the returned cursor and sees every
+// stored event exactly once — unless the ring wraps past it, in which
+// case the overwritten events are skipped and the stream catches up at
+// the oldest retained entry (the gap is observable as a jump in Seq).
+// A nil recorder returns no events and an unchanged cursor.
+func (r *Recorder) EventsSince(cursor uint64) ([]Event, uint64) {
+	if r == nil {
+		return nil, cursor
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.seq
+	if cursor >= next {
+		return nil, next
+	}
+	oldest := r.seq - uint64(r.n)
+	if cursor < oldest {
+		cursor = oldest // wrapped past: catch up at the oldest survivor
+	}
+	count := int(next - cursor)
+	start := r.head - r.n + int(cursor-oldest)
+	if start < 0 {
+		start += len(r.buf)
+	}
+	out := make([]Event, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out, next
 }
 
 // Len returns the number of retained events (<= capacity).

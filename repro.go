@@ -39,6 +39,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/perturb"
 	"repro/internal/pmu"
+	"repro/internal/sched"
 	"repro/internal/spectre"
 	"repro/internal/telemetry"
 )
@@ -206,6 +207,9 @@ type AttackOptions struct {
 	// Metrics, when non-nil, receives the run's end-of-run PMU metrics
 	// under the "pmu." prefix plus pool counters, for the run manifest.
 	Metrics *telemetry.Registry
+	// Tracker, when non-nil, aggregates per-pool campaign progress for
+	// the obs server and the manifest's final progress snapshot.
+	Tracker *sched.Tracker
 	// NoBlocks disables the superblock execution tier (DESIGN.md §11);
 	// NoPredecode additionally disables the predecode cache, forcing the
 	// bare interpreter. Escape hatches for triaging tier bugs — results
@@ -269,6 +273,7 @@ func RunAttack(o AttackOptions) (*AttackReport, error) {
 	}
 	cfg.Telemetry = o.Telemetry
 	cfg.Metrics = o.Metrics
+	cfg.Tracker = o.Tracker
 	cfg.CPU.NoBlocks = o.NoBlocks
 	cfg.CPU.NoPredecode = o.NoPredecode
 	spec := experiments.AttackSpec{Variant: variant}
