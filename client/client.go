@@ -1,0 +1,321 @@
+// Package client is the Go client for the crspectred daemon
+// (internal/controlapi): submit campaign jobs, poll or wait for their
+// lifecycle, stream their telemetry events, cancel them, and fetch
+// their artifacts.
+//
+// The client owns the unreliable-network half of the contract. Submit
+// stamps a client-generated job ID onto the spec before the first
+// attempt, so a retry after a lost response re-submits the *same* job
+// and the daemon's idempotent-submission dedupe returns the original —
+// at-most-once job creation over an at-least-once transport. Reads
+// (Status, Artifacts) and Submit retry transient failures (transport
+// errors, 502/503/504) with capped exponential backoff; 4xx responses
+// are permanent and surface as *APIError. Every method honors its
+// context for cancellation and deadline.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/controlapi"
+)
+
+// APIError is a non-2xx daemon response: the job API's error document
+// plus the HTTP status it rode in on.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("crspectred: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to one crspectred daemon.
+type Client struct {
+	base    string
+	httpc   *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (tests inject fault-laden
+// RoundTrippers here).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetries sets how many times a transiently-failed request is
+// retried (beyond the first attempt). Negative disables retry.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base retry delay (doubled each retry, capped at
+// 16x base).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// BaseURL reports the daemon base URL the client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7099"). Defaults: http.DefaultClient, 3 retries,
+// 100ms base backoff.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		httpc:   http.DefaultClient,
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// newJobID generates a collision-resistant client-side job ID from the
+// daemon's ID alphabet.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a time-derived ID
+		// keeps Submit functional (dedupe just gets weaker).
+		return fmt.Sprintf("job-%d", time.Now().UnixNano())
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// transient reports whether an attempt's outcome is worth retrying: any
+// transport error, or a gateway-ish 5xx. A daemon 503 means draining —
+// retrying is how a client rides out a rolling restart.
+func transient(err error, status int) bool {
+	if err != nil {
+		return true
+	}
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do issues method path with body (re-serialized each attempt), retrying
+// transient failures with exponential backoff, and decodes a 2xx JSON
+// response into out (ignored when out is nil). Non-2xx returns
+// *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			return err
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpc.Do(req)
+		var status int
+		var respBody []byte
+		if err == nil {
+			status = resp.StatusCode
+			respBody, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// A truncated body on an otherwise-OK response is a transport
+			// fault, not an API error: retry it.
+		}
+		if err == nil && status >= 200 && status < 300 {
+			if out == nil {
+				return nil
+			}
+			if uerr := json.Unmarshal(respBody, out); uerr == nil {
+				return nil
+			} else {
+				err = fmt.Errorf("malformed response body: %w", uerr)
+			}
+		}
+		if err == nil && !transient(nil, status) {
+			return &APIError{StatusCode: status, Message: errorMessage(respBody, status)}
+		}
+		// Transient: transport error, malformed/truncated 2xx body, or
+		// retryable 5xx.
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = &APIError{StatusCode: status, Message: errorMessage(respBody, status)}
+		}
+		if attempt >= c.retries {
+			return fmt.Errorf("crspectred: %s %s: giving up after %d attempts: %w",
+				method, path, attempt+1, lastErr)
+		}
+		delay := c.backoff << uint(min(attempt, 4))
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+		case <-t.C:
+		}
+	}
+}
+
+// errorMessage extracts the daemon's {"error": ...} detail, falling
+// back to the status text.
+func errorMessage(body []byte, status int) string {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
+		return doc.Error
+	}
+	return http.StatusText(status)
+}
+
+// Submit submits a job and returns its accepted status. If spec.ID is
+// empty, Submit generates one before the first attempt — the idempotency
+// key that makes retried submissions converge on a single job.
+func (c *Client) Submit(ctx context.Context, spec controlapi.JobSpec) (controlapi.JobStatus, error) {
+	if spec.ID == "" {
+		spec.ID = newJobID()
+	}
+	if err := spec.Validate(); err != nil {
+		return controlapi.JobStatus{}, err
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return controlapi.JobStatus{}, err
+	}
+	var st controlapi.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/jobs", body, &st); err != nil {
+		return controlapi.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status fetches one job's lifecycle snapshot.
+func (c *Client) Status(ctx context.Context, id string) (controlapi.JobStatus, error) {
+	var st controlapi.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st); err != nil {
+		return controlapi.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Cancel requests cancellation. Unknown IDs are a 404 *APIError; a
+// second cancel (or cancelling a finished job) is a 409.
+func (c *Client) Cancel(ctx context.Context, id string) (controlapi.JobStatus, error) {
+	var st controlapi.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/jobs/"+id+"/cancel", nil, &st); err != nil {
+		return controlapi.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Artifacts lists a job's artifact files.
+func (c *Client) Artifacts(ctx context.Context, id string) ([]controlapi.Artifact, error) {
+	var doc struct {
+		Artifacts []controlapi.Artifact `json:"artifacts"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/artifacts", nil, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Artifacts, nil
+}
+
+// Fetch streams one artifact into w and returns the byte count.
+// Artifact fetches are not retried mid-stream; callers re-Fetch on
+// error (artifacts of terminal jobs are immutable, so that is safe).
+func (c *Client) Fetch(ctx context.Context, id, name string, w io.Writer) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/jobs/"+id+"/artifacts/"+name, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return 0, &APIError{StatusCode: resp.StatusCode, Message: errorMessage(body, resp.StatusCode)}
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// Events opens the job's telemetry event stream (JSONL). The returned
+// reader ends when the job reaches a terminal state and its ring has
+// drained; the caller must Close it. Streams are not retried — callers
+// needing at-least-once delivery re-open with a backlog query.
+func (c *Client) Events(ctx context.Context, id string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/jobs/"+id+"/events?format=jsonl&backlog=1000000000", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: errorMessage(body, resp.StatusCode)}
+	}
+	return resp.Body, nil
+}
+
+// WaitDone polls Status until the job reaches a terminal state, with
+// backoff from 50ms up to 1s between polls, and returns the terminal
+// snapshot. It returns the last known status alongside ctx's error if
+// the context expires first.
+func (c *Client) WaitDone(ctx context.Context, id string) (controlapi.JobStatus, error) {
+	delay := 50 * time.Millisecond
+	var last controlapi.JobStatus
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) {
+				return last, err // permanent: unknown job, etc.
+			}
+			if ctx.Err() != nil {
+				return last, fmt.Errorf("crspectred: waiting for job %s: %w", id, ctx.Err())
+			}
+			return last, err
+		}
+		last = st
+		if st.State.Terminal() {
+			return st, nil
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return last, fmt.Errorf("crspectred: waiting for job %s: %w", id, ctx.Err())
+		case <-t.C:
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Fault-injection suite for the daemon client: a flaky RoundTripper
+// between client and a real controlapi daemon (or a scripted handler)
+// injects dropped responses, truncated bodies, hard failures and
+// delays, and the tests pin the client's contract — bounded retry with
+// backoff, context-deadline propagation, permanent-vs-transient
+// classification, and idempotent Submit via the client-generated job
+// ID.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/controlapi"
+)
+
+// rtFunc adapts a closure into an http.RoundTripper.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// newDaemon stands up a real controlapi server and returns its base URL.
+func newDaemon(t *testing.T) string {
+	t.Helper()
+	srv, err := controlapi.New(controlapi.Options{DataDir: t.TempDir(), MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ts.Close()
+	})
+	return ts.URL
+}
+
+// fastJob is a sub-second real workload (one defense.Evaluate rep).
+func fastJob() controlapi.JobSpec {
+	return controlapi.JobSpec{Kind: "attack", Reps: 1, Workers: 1, Seed: 5}
+}
+
+// countJobs asks the daemon how many jobs exist — the dedupe oracle.
+func countJobs(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Jobs []controlapi.JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	return len(listing.Jobs)
+}
+
+// TestSubmitIdempotentAcrossLostResponse is the at-most-once contract:
+// the first submission reaches the daemon but its response is dropped
+// on the floor; the retry must converge on the SAME job — one job
+// total, because Submit stamped the idempotency ID before attempt one.
+func TestSubmitIdempotentAcrossLostResponse(t *testing.T) {
+	base := newDaemon(t)
+	var posts int32
+	rt := rtFunc(func(req *http.Request) (*http.Response, error) {
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if req.Method == http.MethodPost && req.URL.Path == "/jobs" &&
+			atomic.AddInt32(&posts, 1) == 1 {
+			resp.Body.Close() // the daemon processed it; the client never hears
+			return nil, errors.New("injected: response lost in transit")
+		}
+		return resp, nil
+	})
+	c := client.New(base,
+		client.WithHTTPClient(&http.Client{Transport: rt}),
+		client.WithBackoff(time.Millisecond))
+
+	st, err := c.Submit(context.Background(), fastJob())
+	if err != nil {
+		t.Fatalf("submit over lossy transport: %v", err)
+	}
+	if got := atomic.LoadInt32(&posts); got != 2 {
+		t.Errorf("POST /jobs hit the wire %d times, want 2 (original + retry)", got)
+	}
+	if n := countJobs(t, base); n != 1 {
+		t.Errorf("daemon holds %d jobs after retried submit, want 1 (dedupe)", n)
+	}
+	if final, err := c.WaitDone(context.Background(), st.ID); err != nil || final.State != controlapi.StateDone {
+		t.Fatalf("deduped job: state %v err %v, want done", final.State, err)
+	}
+}
+
+// errAfter yields n bytes of its inner reader, then fails — a
+// mid-stream connection loss.
+type errAfter struct {
+	r io.Reader
+	n int64
+}
+
+func (e *errAfter) Read(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > e.n {
+		p = p[:e.n]
+	}
+	n, err := e.r.Read(p)
+	e.n -= int64(n)
+	if err == nil && e.n <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (e *errAfter) Close() error { return nil }
+
+// TestSubmitRetriesTruncatedResponse: a 2xx whose body dies mid-read is
+// a transport fault, not an API answer — the client must retry, and
+// dedupe keeps it one job.
+func TestSubmitRetriesTruncatedResponse(t *testing.T) {
+	base := newDaemon(t)
+	var posts int32
+	rt := rtFunc(func(req *http.Request) (*http.Response, error) {
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if req.Method == http.MethodPost && req.URL.Path == "/jobs" &&
+			atomic.AddInt32(&posts, 1) == 1 {
+			resp.Body = &errAfter{r: resp.Body, n: 10}
+		}
+		return resp, nil
+	})
+	c := client.New(base,
+		client.WithHTTPClient(&http.Client{Transport: rt}),
+		client.WithBackoff(time.Millisecond))
+	if _, err := c.Submit(context.Background(), fastJob()); err != nil {
+		t.Fatalf("submit over truncating transport: %v", err)
+	}
+	if n := countJobs(t, base); n != 1 {
+		t.Errorf("daemon holds %d jobs, want 1", n)
+	}
+}
+
+// TestRetryBudgetExhausted: a dead transport fails after exactly
+// 1 + retries attempts, with the last transport error in the chain.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls int32
+	rt := rtFunc(func(req *http.Request) (*http.Response, error) {
+		atomic.AddInt32(&calls, 1)
+		return nil, errors.New("injected: connection refused")
+	})
+	c := client.New("http://127.0.0.1:1",
+		client.WithHTTPClient(&http.Client{Transport: rt}),
+		client.WithRetries(2),
+		client.WithBackoff(time.Millisecond))
+	_, err := c.Status(context.Background(), "whatever")
+	if err == nil {
+		t.Fatal("dead transport produced no error")
+	}
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Errorf("transport hit %d times, want 3 (1 + 2 retries)", got)
+	}
+	if !strings.Contains(err.Error(), "connection refused") {
+		t.Errorf("final error hides the transport cause: %v", err)
+	}
+}
+
+// TestRetryBacksOff: the delay between attempts must grow — three
+// failing attempts at 20ms base means ≥ 20+40 = 60ms total.
+func TestRetryBacksOff(t *testing.T) {
+	var stamps []time.Time
+	rt := rtFunc(func(req *http.Request) (*http.Response, error) {
+		stamps = append(stamps, time.Now()) // sequential: do() never overlaps attempts
+		return nil, errors.New("injected")
+	})
+	c := client.New("http://127.0.0.1:1",
+		client.WithHTTPClient(&http.Client{Transport: rt}),
+		client.WithRetries(2),
+		client.WithBackoff(20*time.Millisecond))
+	_, _ = c.Status(context.Background(), "x")
+	if len(stamps) != 3 {
+		t.Fatalf("%d attempts, want 3", len(stamps))
+	}
+	if g1, g2 := stamps[1].Sub(stamps[0]), stamps[2].Sub(stamps[1]); g2 < g1 || g1 < 15*time.Millisecond {
+		t.Errorf("gaps not backing off: %v then %v", g1, g2)
+	}
+}
+
+// TestPermanent4xxNotRetried: a 4xx is an answer, not a fault — one
+// attempt, surfaced as *APIError with the daemon's message.
+func TestPermanent4xxNotRetried(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		io.WriteString(w, `{"error":"controlapi: unknown job kind \"zap\""}`)
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithBackoff(time.Millisecond))
+	_, err := c.Status(context.Background(), "x")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("got %v, want APIError 400", err)
+	}
+	if !strings.Contains(apiErr.Message, "unknown job kind") {
+		t.Errorf("daemon detail lost: %q", apiErr.Message)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("4xx retried: %d attempts, want 1", got)
+	}
+}
+
+// TestTransient503Retried: 503 is the draining/restart signal; the
+// client rides it out and succeeds on the attempt that lands.
+func TestTransient503Retried(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":"draining"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"id":"j1","state":"done","spec":{"kind":"fig4"},"created":"2026-01-01T00:00:00Z"}`)
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithBackoff(time.Millisecond))
+	st, err := c.Status(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("status across 503s: %v", err)
+	}
+	if st.State != controlapi.StateDone || atomic.LoadInt32(&calls) != 3 {
+		t.Errorf("state %q after %d calls, want done after 3", st.State, calls)
+	}
+}
+
+// TestContextDeadlineCutsDelay: a transport stuck longer than the
+// context deadline must return promptly with the deadline error — the
+// retry loop may not strand the caller in backoff sleeps either.
+func TestContextDeadlineCutsDelay(t *testing.T) {
+	rt := rtFunc(func(req *http.Request) (*http.Response, error) {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(10 * time.Second):
+			return nil, errors.New("unreachable")
+		}
+	})
+	c := client.New("http://127.0.0.1:1",
+		client.WithHTTPClient(&http.Client{Transport: rt}),
+		client.WithRetries(5),
+		client.WithBackoff(10*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := c.Status(ctx, "x")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Errorf("deadline took %v to propagate", el)
+	}
+}
+
+// TestWaitDoneHonorsContext: polling a job that will not finish returns
+// the context error (with the last observed status) once the deadline
+// passes.
+func TestWaitDoneHonorsContext(t *testing.T) {
+	base := newDaemon(t)
+	c := client.New(base)
+	st, err := c.Submit(context.Background(),
+		controlapi.JobSpec{Kind: "attack", Reps: 50_000, Workers: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	last, err := c.WaitDone(ctx, st.ID)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if last.State.Terminal() {
+		t.Errorf("job unexpectedly finished: %q", last.State)
+	}
+	if _, err := c.Cancel(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitDone(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitLocalValidation: a spec the daemon would reject is caught
+// client-side before any bytes move.
+func TestSubmitLocalValidation(t *testing.T) {
+	var calls int32
+	rt := rtFunc(func(req *http.Request) (*http.Response, error) {
+		atomic.AddInt32(&calls, 1)
+		return nil, errors.New("should not reach the wire")
+	})
+	c := client.New("http://127.0.0.1:1",
+		client.WithHTTPClient(&http.Client{Transport: rt}))
+	if _, err := c.Submit(context.Background(), controlapi.JobSpec{Kind: "fig9"}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if atomic.LoadInt32(&calls) != 0 {
+		t.Error("invalid spec reached the transport")
+	}
+}

@@ -1,0 +1,270 @@
+// Command crspectred is the simulator-as-a-service daemon: a
+// long-running job server that accepts campaign jobs over HTTP/JSON
+// (internal/controlapi), runs them on internal/sched worker pools under
+// a concurrency limit, streams per-job progress and telemetry events,
+// and serves the finished artifacts. The same binary doubles as the
+// command-line client for the daemon's API.
+//
+// Usage:
+//
+//	crspectred serve -addr 127.0.0.1:7099 -data ./jobs -max-jobs 2
+//	crspectred submit -addr http://127.0.0.1:7099 -kind fig4 -samples 40 -wait
+//	crspectred status -addr http://127.0.0.1:7099 <job-id>
+//	crspectred cancel -addr http://127.0.0.1:7099 <job-id>
+//	crspectred fetch  -addr http://127.0.0.1:7099 <job-id> manifest.json
+//
+// The daemon drains gracefully on SIGTERM/SIGINT: it stops accepting
+// jobs, lets the in-flight ones finish (up to -drain), then cancels
+// stragglers — every job flushes its manifest either way.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/internal/controlapi"
+	"repro/internal/telemetry"
+)
+
+// errUsage marks a bad invocation (exit code 2, like flag errors).
+var errUsage = errors.New("crspectred: want a subcommand: serve, submit, status, cancel, fetch")
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	err := run(os.Args[1:], os.Stdout, sig)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, err)
+	if errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// run dispatches the subcommand. It is the testable core of main: sig
+// delivers shutdown signals to serve mode (tests feed it directly).
+func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
+	if len(args) == 0 {
+		return errUsage
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "serve":
+		return runServe(rest, stdout, sig)
+	case "submit":
+		return runSubmit(rest, stdout)
+	case "status":
+		return runStatus(rest, stdout)
+	case "cancel":
+		return runCancel(rest, stdout)
+	case "fetch":
+		return runFetch(rest, stdout)
+	default:
+		return fmt.Errorf("%w (got %q)", errUsage, cmd)
+	}
+}
+
+func runServe(args []string, stdout io.Writer, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("crspectred serve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7099", "listen address (port 0 picks a free port)")
+		data    = fs.String("data", "", "artifact root directory (empty = a fresh temp dir)")
+		maxJobs = fs.Int("max-jobs", 2, "jobs running concurrently; the rest queue")
+		workers = fs.Int("workers", 0, "default per-job sched fan-out (0 = all cores)")
+		drain   = fs.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before in-flight jobs are cancelled")
+		quiet   = fs.Bool("quiet", false, "suppress request and lifecycle logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var log *slog.Logger
+	if !*quiet {
+		log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv, err := controlapi.New(controlapi.Options{
+		DataDir:        *data,
+		MaxJobs:        *maxJobs,
+		DefaultWorkers: *workers,
+		RunID:          telemetry.NewRunID(),
+		Log:            log,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("crspectred: %w", err)
+	}
+	// The parseable startup line: CI and tests read the resolved address
+	// (meaningful with port 0) and the artifact root from here.
+	fmt.Fprintf(stdout, "crspectred listening on http://%s (data %s, max-jobs %d)\n",
+		ln.Addr(), srv.DataDir(), *maxJobs)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return fmt.Errorf("crspectred: %w", err)
+	case s := <-sig:
+		fmt.Fprintf(stdout, "crspectred: %v: draining (budget %s)\n", s, *drain)
+	}
+
+	// Drain first — the daemon keeps answering status/event/artifact
+	// requests while in-flight jobs finish — then shut the listener down.
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	srv.Drain(dctx)
+	cancel()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("crspectred: shutdown: %w", err)
+	}
+	fmt.Fprintln(stdout, "crspectred: drained, bye")
+	return nil
+}
+
+// clientFlags are the flags every client verb shares.
+func clientFlags(fs *flag.FlagSet) (addr *string, timeout *time.Duration) {
+	addr = fs.String("addr", "http://127.0.0.1:7099", "daemon base URL")
+	timeout = fs.Duration("timeout", 10*time.Minute, "overall request/wait deadline")
+	return
+}
+
+func printJSON(stdout io.Writer, v any) error {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func runSubmit(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("crspectred submit", flag.ContinueOnError)
+	addr, timeout := clientFlags(fs)
+	var (
+		id      = fs.String("id", "", "job ID (empty = generated; resubmitting an ID is idempotent)")
+		kind    = fs.String("kind", "", "job kind: fig4, fig5, fig6, table1, attack")
+		seed    = fs.Int64("seed", 0, "pipeline seed (0 = default 1)")
+		workers = fs.Int("workers", 0, "job fan-out (0 = daemon default); results identical for any value")
+		samples = fs.Int("samples", 0, "training samples per class for campaign kinds (0 = default)")
+		att     = fs.Int("attempts", 0, "attack attempts for campaign kinds (0 = default)")
+		reps    = fs.Int("reps", 0, "repetitions (0 = kind default)")
+		variant = fs.String("variant", "", "speculation variant for -kind attack")
+		posture = fs.String("posture", "", "defense posture for -kind attack")
+		perturb = fs.Bool("perturb", false, "enable defense-aware perturbation for -kind attack")
+		wait    = fs.Bool("wait", false, "block until the job reaches a terminal state")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := controlapi.JobSpec{
+		ID: *id, Kind: *kind, Seed: *seed, Workers: *workers,
+		Samples: *samples, Attempts: *att, Reps: *reps,
+		Variant: *variant, Posture: *posture, Perturb: *perturb,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*addr)
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if *wait {
+		if st, err = c.WaitDone(ctx, st.ID); err != nil {
+			return err
+		}
+		if st.State != controlapi.StateDone {
+			if perr := printJSON(stdout, st); perr != nil {
+				return perr
+			}
+			return fmt.Errorf("crspectred: job %s finished %s: %s", st.ID, st.State, st.Error)
+		}
+	}
+	return printJSON(stdout, st)
+}
+
+// oneIDArg parses the single positional <job-id> of status/cancel.
+func oneIDArg(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("crspectred %s: want exactly one <job-id> argument", fs.Name())
+	}
+	return fs.Arg(0), nil
+}
+
+func runStatus(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	addr, timeout := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := oneIDArg(fs)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	st, err := client.New(*addr).Status(ctx, id)
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, st)
+}
+
+func runCancel(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cancel", flag.ContinueOnError)
+	addr, timeout := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := oneIDArg(fs)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	st, err := client.New(*addr).Cancel(ctx, id)
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, st)
+}
+
+func runFetch(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fetch", flag.ContinueOnError)
+	addr, timeout := clientFlags(fs)
+	out := fs.String("o", "", "write the artifact to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return errors.New("crspectred fetch: want <job-id> <artifact-name>")
+	}
+	id, name := fs.Arg(0), fs.Arg(1)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	_, err := client.New(*addr).Fetch(ctx, id, name, w)
+	return err
+}

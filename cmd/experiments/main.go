@@ -137,124 +137,21 @@ func run(args []string, stdout io.Writer) (err error) {
 		defer stopWatch()
 	}
 
-	if !*all && *fig == "" && *table == "" && !*latency && !*recycle && !*alarms {
+	want := func(s, v string) bool { return *all || strings.TrimSpace(s) == v }
+	campaign := experiments.CampaignSpec{
+		Fig4:    want(*fig, "4"),
+		Fig5:    want(*fig, "5"),
+		Fig6:    want(*fig, "6"),
+		Latency: *all || *latency,
+		Recycle: *all || *recycle,
+		Alarms:  *all || *alarms,
+		Table1:  want(*table, "1"),
+	}
+	if !campaign.Any() {
 		return errUsage
 	}
-
-	section := func(name string, f func() error) error {
-		start := time.Now()
-		fmt.Fprintf(stdout, "=== %s ===\n", name)
-		if err := f(); err != nil {
-			return fmt.Errorf("experiments: %s: %w", name, err)
-		}
-		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
-		return nil
-	}
-
-	writeCSV := func(name string, emit func(f *os.File)) error {
-		if *csvdir == "" {
-			return nil
-		}
-		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
-			return fmt.Errorf("experiments: %w", err)
-		}
-		f, err := os.Create(filepath.Join(*csvdir, name))
-		if err != nil {
-			return fmt.Errorf("experiments: %w", err)
-		}
-		emit(f)
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("experiments: %w", err)
-		}
-		fmt.Fprintf(stdout, "wrote %s\n", filepath.Join(*csvdir, name))
-		return nil
-	}
-
-	want := func(s, v string) bool { return *all || strings.TrimSpace(s) == v }
-
-	if want(*fig, "4") {
-		if err := section("Fig 4: HID accuracy vs feature size", func() error {
-			rows, err := experiments.Fig4(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.RenderFig4(stdout, rows)
-			return writeCSV("fig4.csv", func(f *os.File) { experiments.Fig4CSV(f, rows) })
-		}); err != nil {
-			return err
-		}
-	}
-	if want(*fig, "5") {
-		if err := section("Fig 5: offline-type HID campaign", func() error {
-			res, err := experiments.Fig5(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.RenderCampaign(stdout, res, cfg.Classifiers)
-			return writeCSV("fig5.csv", func(f *os.File) { experiments.CampaignCSV(f, res) })
-		}); err != nil {
-			return err
-		}
-	}
-	if want(*fig, "6") {
-		if err := section("Fig 6: online-type HID campaign", func() error {
-			res, err := experiments.Fig6(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.RenderCampaign(stdout, res, cfg.Classifiers)
-			return writeCSV("fig6.csv", func(f *os.File) { experiments.CampaignCSV(f, res) })
-		}); err != nil {
-			return err
-		}
-	}
-	if *all || *latency {
-		if err := section("Extension: online-HID detection latency", func() error {
-			rows, err := experiments.DetectionLatency(cfg, 6)
-			if err != nil {
-				return err
-			}
-			experiments.RenderLatency(stdout, rows)
-			return nil
-		}); err != nil {
-			return err
-		}
-	}
-	if *all || *recycle {
-		if err := section("Extension: variant recycling vs windowed HID", func() error {
-			rows, err := experiments.VariantRecycling(cfg, 600)
-			if err != nil {
-				return err
-			}
-			experiments.RenderRecycling(stdout, rows)
-			return nil
-		}); err != nil {
-			return err
-		}
-	}
-	if *all || *alarms {
-		if err := section("Extension: run-level alarm policies vs diluted CR-Spectre", func() error {
-			rows, err := experiments.RunLevelDetection(cfg, nil, 6)
-			if err != nil {
-				return err
-			}
-			experiments.RenderAlarms(stdout, rows)
-			return nil
-		}); err != nil {
-			return err
-		}
-	}
-	if want(*table, "1") {
-		if err := section("Table I: IPC overhead", func() error {
-			rows, err := experiments.Table1(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.RenderTable1(stdout, rows)
-			return writeCSV("table1.csv", func(f *os.File) { experiments.Table1CSV(f, rows) })
-		}); err != nil {
-			return err
-		}
+	if err := experiments.RunCampaign(cfg, campaign, stdout, *csvdir); err != nil {
+		return err
 	}
 
 	if *traceOut != "" {

@@ -1,0 +1,70 @@
+package controlapi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/controlapi"
+)
+
+// FuzzJobSpecDecode pins the submission endpoint's safety contract:
+// DecodeJobSpec must never panic on arbitrary bytes, and anything it
+// accepts must be a spec the daemon could actually run — Validate-clean
+// and round-trippable. The server maps every decode error to a 400
+// before any resource is committed, so "decodes ⇒ runnable" is the
+// whole attack surface of a malicious submission body.
+func FuzzJobSpecDecode(f *testing.F) {
+	// Valid documents, one per kind plus the knob extremes.
+	f.Add([]byte(`{"kind":"fig4"}`))
+	f.Add([]byte(`{"kind":"fig5","samples":400,"attempts":10,"seed":1}`))
+	f.Add([]byte(`{"kind":"fig6","workers":8}`))
+	f.Add([]byte(`{"kind":"table1","reps":3}`))
+	f.Add([]byte(`{"id":"job-00ff","kind":"attack","variant":"v2-cross-train","posture":"retpoline","perturb":true,"reps":100}`))
+	// The rejection classes the validator distinguishes.
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"kind":"fig9"}`))
+	f.Add([]byte(`{"kind":"attack","variant":"nope"}`))
+	f.Add([]byte(`{"kind":"attack","posture":"nope"}`))
+	f.Add([]byte(`{"kind":"fig4","samples":-3}`))
+	f.Add([]byte(`{"kind":"fig4","workers":99999999}`))
+	f.Add([]byte(`{"kind":"fig4","unknown_field":1}`))
+	f.Add([]byte(`{"kind":"fig4"}{"kind":"fig4"}`))
+	f.Add([]byte(`{"kind":"fig4","id":"../../etc"}`))
+	f.Add([]byte(`{"kind":"fig4","seed":1e400}`))
+	f.Add([]byte(`{"kind":"fig4","seed":"one"}`))
+	f.Add([]byte(strings.Repeat(`{"kind":`, 1000)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := controlapi.DecodeJobSpec(bytes.NewReader(data))
+		if err != nil {
+			// Rejected is always fine; the error must carry the package
+			// prefix so handler 400s are attributable.
+			if !strings.Contains(err.Error(), "controlapi:") {
+				t.Errorf("error without package prefix: %v", err)
+			}
+			return
+		}
+		// Accepted: the spec must be independently valid...
+		if verr := spec.Validate(); verr != nil {
+			t.Errorf("decoded spec fails Validate: %v (input %q)", verr, data)
+		}
+		// ...and survive a JSON round trip unchanged — the dedupe path
+		// re-serialises specs, so lossy decoding would break idempotency.
+		enc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		spec2, err := controlapi.DecodeJobSpec(bytes.NewReader(enc))
+		if err != nil {
+			t.Errorf("round trip rejected: %v (wire %s)", err, enc)
+		}
+		if spec != spec2 {
+			t.Errorf("round trip changed the spec: %+v vs %+v", spec, spec2)
+		}
+	})
+}

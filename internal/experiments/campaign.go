@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// CampaignSpec selects which sections of the paper's evaluation one run
+// regenerates. It is the shared job payload behind cmd/experiments'
+// flags and the crspectred daemon's campaign job kinds: both resolve to
+// a CampaignSpec and call RunCampaign, so a job that ran on the daemon
+// executed exactly the code path the CLI would have — same drivers,
+// same section order, same CSV bytes, same manifest content.
+type CampaignSpec struct {
+	Fig4    bool // Fig. 4: HID accuracy vs feature size
+	Fig5    bool // Fig. 5: offline-type HID campaign
+	Fig6    bool // Fig. 6: online-type HID campaign
+	Latency bool // extension: online-HID detection latency
+	Recycle bool // extension: variant recycling vs windowed HID
+	Alarms  bool // extension: run-level alarm policies
+	Table1  bool // Table I: IPC overhead
+}
+
+// Any reports whether at least one section is selected.
+func (s CampaignSpec) Any() bool {
+	return s.Fig4 || s.Fig5 || s.Fig6 || s.Latency || s.Recycle || s.Alarms || s.Table1
+}
+
+// RunCampaign executes the selected sections in the canonical order
+// (Fig. 4, Fig. 5, Fig. 6, the three extensions, Table I), rendering
+// text tables to stdout and, when csvdir is non-empty, writing the CSV
+// series into it. Cancellation arrives through cfg.BaseCtx: the worker
+// pools inside every driver stop dispatching once it is cancelled, and
+// the context's error is returned.
+func RunCampaign(cfg Config, spec CampaignSpec, stdout io.Writer, csvdir string) error {
+	section := func(name string, f func() error) error {
+		start := time.Now()
+		fmt.Fprintf(stdout, "=== %s ===\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		return nil
+	}
+
+	writeCSV := func(name string, emit func(f *os.File)) error {
+		if csvdir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvdir, 0o755); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		f, err := os.Create(filepath.Join(csvdir, name))
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		emit(f)
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", filepath.Join(csvdir, name))
+		return nil
+	}
+
+	if spec.Fig4 {
+		if err := section("Fig 4: HID accuracy vs feature size", func() error {
+			rows, err := Fig4(cfg)
+			if err != nil {
+				return err
+			}
+			RenderFig4(stdout, rows)
+			return writeCSV("fig4.csv", func(f *os.File) { Fig4CSV(f, rows) })
+		}); err != nil {
+			return err
+		}
+	}
+	if spec.Fig5 {
+		if err := section("Fig 5: offline-type HID campaign", func() error {
+			res, err := Fig5(cfg)
+			if err != nil {
+				return err
+			}
+			RenderCampaign(stdout, res, cfg.Classifiers)
+			return writeCSV("fig5.csv", func(f *os.File) { CampaignCSV(f, res) })
+		}); err != nil {
+			return err
+		}
+	}
+	if spec.Fig6 {
+		if err := section("Fig 6: online-type HID campaign", func() error {
+			res, err := Fig6(cfg)
+			if err != nil {
+				return err
+			}
+			RenderCampaign(stdout, res, cfg.Classifiers)
+			return writeCSV("fig6.csv", func(f *os.File) { CampaignCSV(f, res) })
+		}); err != nil {
+			return err
+		}
+	}
+	if spec.Latency {
+		if err := section("Extension: online-HID detection latency", func() error {
+			rows, err := DetectionLatency(cfg, 6)
+			if err != nil {
+				return err
+			}
+			RenderLatency(stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if spec.Recycle {
+		if err := section("Extension: variant recycling vs windowed HID", func() error {
+			rows, err := VariantRecycling(cfg, 600)
+			if err != nil {
+				return err
+			}
+			RenderRecycling(stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if spec.Alarms {
+		if err := section("Extension: run-level alarm policies vs diluted CR-Spectre", func() error {
+			rows, err := RunLevelDetection(cfg, nil, 6)
+			if err != nil {
+				return err
+			}
+			RenderAlarms(stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if spec.Table1 {
+		if err := section("Table I: IPC overhead", func() error {
+			rows, err := Table1(cfg)
+			if err != nil {
+				return err
+			}
+			RenderTable1(stdout, rows)
+			return writeCSV("table1.csv", func(f *os.File) { Table1CSV(f, rows) })
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

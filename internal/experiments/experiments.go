@@ -90,6 +90,14 @@ type Config struct {
 	// obs server's /progress endpoint and the manifest's final progress
 	// snapshot. Nil keeps the scheduler on its nil-check-only fast path.
 	Tracker *sched.Tracker
+	// BaseCtx, when non-nil, is the parent context of every worker pool
+	// the drivers spin up — the crspectred daemon's per-job cancellation
+	// path (cancel requests and graceful drain propagate through it into
+	// sched.Map). Nil keeps context.Background(), the CLI behaviour
+	// where interruption means killing the process. Cancellation only
+	// changes *whether* a run completes, never its results: a run that
+	// finishes is byte-identical with or without a BaseCtx.
+	BaseCtx context.Context
 }
 
 // workers resolves the configured fan-out width.
@@ -99,8 +107,12 @@ func (cfg Config) workers() int { return sched.Workers(cfg.Workers) }
 // carrying the configured telemetry sinks plus the named progress pool
 // (all nil-safe; an absent tracker hands the pool carrier a nil pool).
 func (cfg Config) ctx(pool string) context.Context {
+	base := cfg.BaseCtx
+	if base == nil {
+		base = context.Background()
+	}
 	ctx := telemetry.WithRegistry(
-		telemetry.NewContext(context.Background(), cfg.Telemetry), cfg.Metrics)
+		telemetry.NewContext(base, cfg.Telemetry), cfg.Metrics)
 	return sched.WithPool(ctx, cfg.Tracker.Pool(pool))
 }
 

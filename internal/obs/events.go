@@ -34,7 +34,19 @@ const eventsPollInterval = 50 * time.Millisecond
 // silently resumes at the oldest retained event (the Seq field exposes
 // the gap to clients that care).
 func (h *handler) events(w http.ResponseWriter, r *http.Request) {
-	rec := h.opts.Recorder
+	ServeEventStream(w, r, h.opts.Recorder, nil)
+}
+
+// ServeEventStream tails rec's ring to w, honouring the /events query
+// parameters documented on the handler above. It is shared between the
+// obs server's /events endpoint and the control API's per-job
+// /jobs/{id}/events endpoint. done, when non-nil, bounds the stream's
+// lifetime: once it is closed the remaining ring contents are drained
+// and the response ends — the job-stream case, where a finished job
+// must terminate its consumers rather than leave them polling an idle
+// ring forever. A nil done streams until the client disconnects (or
+// limit is reached), the live-server case.
+func ServeEventStream(w http.ResponseWriter, r *http.Request, rec *telemetry.Recorder, done <-chan struct{}) {
 	if rec == nil {
 		http.Error(w, "obs: no telemetry recorder attached; /events is unavailable", http.StatusServiceUnavailable)
 		return
@@ -91,6 +103,7 @@ func (h *handler) events(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var sent uint64
+	finishing := false
 	tick := time.NewTicker(eventsPollInterval)
 	defer tick.Stop()
 	for {
@@ -116,6 +129,23 @@ func (h *handler) events(w http.ResponseWriter, r *http.Request) {
 		}
 		if flusher != nil {
 			flusher.Flush()
+		}
+		// Every emission into the ring happens-before done closes, so once
+		// finishing is observed, one empty EventsSince batch proves the
+		// ring is fully drained.
+		if finishing {
+			if len(evs) == 0 {
+				return
+			}
+			continue
+		}
+		if done != nil {
+			select {
+			case <-done:
+				finishing = true
+				continue // drain without waiting out a tick
+			default:
+			}
 		}
 		select {
 		case <-r.Context().Done():

@@ -24,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -54,26 +55,51 @@ type handler struct {
 // NewHandler builds the observability mux. Exposed separately from
 // Serve so tests (and embedders with their own server) can mount it.
 func NewHandler(opts Options) http.Handler {
+	return Register(http.NewServeMux(), opts)
+}
+
+// Register mounts the observability surface onto an existing mux — the
+// embedding path for hosts (like the crspectred control API) that serve
+// their own routes alongside it. Patterns the mux has already claimed
+// are skipped rather than re-registered: http.ServeMux panics on
+// duplicate patterns, and a daemon that registers its own pprof or
+// metrics handlers before (or after, via a second Register call)
+// embedding the obs surface must not collide with it. The returned
+// handler serves mux with request logging when opts.Log is set (it is
+// what NewHandler returns); embedders with their own logging serve the
+// mux directly and can ignore it.
+func Register(mux *http.ServeMux, opts Options) http.Handler {
 	h := &handler{opts: opts, start: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", h.healthz)
-	mux.HandleFunc("/buildz", h.buildz)
-	mux.HandleFunc("/metrics", h.metrics)
-	mux.HandleFunc("/metrics.json", h.metricsJSON)
-	mux.HandleFunc("/progress", h.progress)
-	mux.HandleFunc("/events", h.events)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	if opts.Log == nil {
-		return mux
-	}
+	register(mux, "/healthz", http.HandlerFunc(h.healthz))
+	register(mux, "/buildz", http.HandlerFunc(h.buildz))
+	register(mux, "/metrics", http.HandlerFunc(h.metrics))
+	register(mux, "/metrics.json", http.HandlerFunc(h.metricsJSON))
+	register(mux, "/progress", http.HandlerFunc(h.progress))
+	register(mux, "/events", http.HandlerFunc(h.events))
+	register(mux, "/debug/pprof/", http.HandlerFunc(pprof.Index))
+	register(mux, "/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	register(mux, "/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	register(mux, "/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	register(mux, "/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
 	return h.logRequests(mux)
 }
 
+// register claims pattern on mux unless the exact pattern is already
+// registered. The probe uses ServeMux.Handler, which reports the
+// pattern that would serve a request without invoking any handler; an
+// exact match means a previous registration (obs or host) owns it.
+func register(mux *http.ServeMux, pattern string, h http.Handler) {
+	probe := &http.Request{Method: http.MethodGet, URL: &url.URL{Path: pattern}}
+	if _, got := mux.Handler(probe); got == pattern {
+		return
+	}
+	mux.Handle(pattern, h)
+}
+
 func (h *handler) logRequests(next http.Handler) http.Handler {
+	if h.opts.Log == nil {
+		return next
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		next.ServeHTTP(w, r)

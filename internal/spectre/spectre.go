@@ -95,6 +95,29 @@ func AllVariants() []Variant {
 	return []Variant{V1BoundsCheck, VRSB, VSpecStoreOverflow, VBTB, V2CrossTrain, V4StoreBypass}
 }
 
+// VariantByName resolves a variant from its String form, over the full
+// implemented set (AllVariants) — the inverse lookup job specs and CLI
+// flags use.
+func VariantByName(name string) (Variant, bool) {
+	for _, v := range AllVariants() {
+		if v.String() == name {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// VariantNames lists every implemented variant's wire name, in
+// AllVariants order, for error messages and discovery endpoints.
+func VariantNames() []string {
+	all := AllVariants()
+	out := make([]string, len(all))
+	for i, v := range all {
+		out[i] = v.String()
+	}
+	return out
+}
+
 // String names the variant.
 func (v Variant) String() string {
 	switch v {
