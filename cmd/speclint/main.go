@@ -17,14 +17,26 @@
 // analyzed statically and run on the simulator, and any verdict
 // disagreement fails the run.
 //
+// Beyond the lint gate, three verbs drive the corpus-scale gadget-
+// hunting pipeline:
+//
+//	speclint scan    # sharded whole-corpus sweep under the
+//	                 # uninit-secret policy, SpecFuzz confirmation for
+//	                 # generated gadgets, ranked v2 findings report
+//	speclint rank    # print the top-ranked findings of a report
+//	speclint report  # validate a report and print its summary
+//
 // Usage:
 //
-//	speclint                          # lint the built-in corpus (<1s)
-//	speclint -json findings.json      # also write machine-readable findings
-//	speclint -progen 200 -seed 1      # agreement soak, difftest style
-//	speclint -metrics                 # dump the telemetry registry
+//	speclint                            # lint the built-in corpus (<1s)
+//	speclint -json findings.json        # also write machine-readable findings
+//	speclint -progen 200 -seed 1        # agreement soak, difftest style
+//	speclint -metrics                   # dump the telemetry registry
+//	speclint scan -progen 48 -gate -out findings.json
+//	speclint rank -in findings.json -top 10
+//	speclint report -in findings.json
 //
-// Exit status: 0 clean, 1 lint failure or disagreement, 2 usage.
+// Exit status: 0 clean, 1 lint/scan failure or disagreement, 2 usage.
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/analysis"
@@ -43,6 +56,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mibench"
 	"repro/internal/obs"
+	"repro/internal/progen"
 	"repro/internal/rop"
 	"repro/internal/sched"
 	"repro/internal/spectre"
@@ -67,12 +81,58 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		verb := args[0]
+		rest := args[1:]
+		switch verb {
+		case "scan":
+			return runScan(rest, stdout)
+		case "rank":
+			return runRank(rest, stdout)
+		case "report":
+			return runReport(rest, stdout)
+		default:
+			return fmt.Errorf("speclint: unknown verb %q (want scan, rank, or report): %w", verb, flag.ErrHelp)
+		}
+	}
+	return runLint(args, stdout)
+}
+
+// obsServe starts the live observability server and a tracker pool when
+// addr is non-empty; the returned context carries the pool, and cleanup
+// must run at exit.
+func obsServe(ctx context.Context, reg *telemetry.Registry, addr, pool string) (context.Context, func(), error) {
+	if addr == "" {
+		return ctx, func() {}, nil
+	}
+	runID := telemetry.NewRunID()
+	logger := telemetry.NewLogger(os.Stderr, "speclint", runID)
+	tracker := sched.NewTracker(reg, nil, logger)
+	ctx = sched.WithPool(ctx, tracker.Pool(pool))
+	obsCtx, obsCancel := context.WithCancel(context.Background())
+	srv, err := obs.Serve(obsCtx, addr, obs.Options{
+		Tool: "speclint", RunID: runID, Log: logger,
+		Registry: reg, Tracker: tracker,
+	})
+	if err != nil {
+		obsCancel()
+		return ctx, func() {}, err
+	}
+	stopWatch := tracker.Watch(obsCtx, time.Minute)
+	return ctx, func() {
+		stopWatch()
+		srv.Close()
+		obsCancel()
+	}, nil
+}
+
+func runLint(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("speclint", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
 		seed     = fs.Int64("seed", 1, "base seed for the -progen soak")
 		progenN  = fs.Int("progen", 0, "also soak static/dynamic agreement over this many generated gadget programs")
-		workers  = fs.Int("workers", 0, "soak worker goroutines (0 = all cores)")
+		workers  = fs.Int("workers", 0, "lint and soak worker goroutines (0 = all cores)")
 		maxInstr = fs.Uint64("maxinstr", 200_000, "per-program retired-instruction budget in the soak")
 		jsonOut  = fs.String("json", "", "write the findings reports as JSON to this file")
 		metrics  = fs.Bool("metrics", false, "dump the telemetry registry after the run")
@@ -86,25 +146,12 @@ func run(args []string, stdout io.Writer) error {
 	start := time.Now()
 	reg := telemetry.NewRegistry()
 	ctx := telemetry.WithRegistry(context.Background(), reg)
-	if *obsAddr != "" {
-		runID := telemetry.NewRunID()
-		logger := telemetry.NewLogger(os.Stderr, "speclint", runID)
-		tracker := sched.NewTracker(reg, nil, logger)
-		ctx = sched.WithPool(ctx, tracker.Pool("agreement-soak"))
-		obsCtx, obsCancel := context.WithCancel(context.Background())
-		defer obsCancel()
-		srv, err := obs.Serve(obsCtx, *obsAddr, obs.Options{
-			Tool: "speclint", RunID: runID, Log: logger,
-			Registry: reg, Tracker: tracker,
-		})
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		stopWatch := tracker.Watch(obsCtx, time.Minute)
-		defer stopWatch()
+	ctx, obsDone, err := obsServe(ctx, reg, *obsAddr, "agreement-soak")
+	if err != nil {
+		return err
 	}
-	reports, err := lintCorpus(stdout, reg, *verbose)
+	defer obsDone()
+	reports, err := lintCorpus(ctx, stdout, reg, *workers, *verbose)
 	if err != nil {
 		return err
 	}
@@ -154,7 +201,8 @@ type corpusImage struct {
 }
 
 // corpus links the built-in guest binaries: one attack image per
-// Spectre variant plus every MiBench host image.
+// Spectre variant plus every MiBench host image, sorted by name so
+// every downstream artifact is ordered the same way.
 func corpus() ([]corpusImage, error) {
 	var out []corpusImage
 	for _, v := range spectre.Variants() {
@@ -183,18 +231,42 @@ func corpus() ([]corpusImage, error) {
 		}
 		out = append(out, corpusImage{name: "host/" + w.Name, img: img, host: true})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out, nil
 }
 
-func lintCorpus(stdout io.Writer, reg *telemetry.Registry, verbose bool) ([]*analysis.Report, error) {
+// lintResult is one image's shard of the parallel lint: the report plus
+// the host planner-check outcome, merged sequentially in corpus order.
+type lintResult struct {
+	rep        *analysis.Report
+	plannerErr error
+	plannerTag string // registry counter suffix, "" for non-hosts
+}
+
+func lintCorpus(ctx context.Context, stdout io.Writer, reg *telemetry.Registry, workers int, verbose bool) ([]*analysis.Report, error) {
 	images, err := corpus()
 	if err != nil {
 		return nil, err
 	}
-	var reports []*analysis.Report
-	for _, ci := range images {
+	// Shard the per-image analysis (and the pure planner cross-check)
+	// across the pool; sched.Map returns results in task order, so the
+	// merge below is deterministic at any worker count.
+	results, err := sched.Map(ctx, workers, len(images), func(_ context.Context, i int) (lintResult, error) {
+		ci := images[i]
 		rep := analysis.AnalyzeImage(ci.img, analysis.Config{TaintedRegs: ci.taint, MaxGadgetLen: hostGadgetLen})
 		rep.Name = ci.name
+		r := lintResult{rep: rep}
+		if ci.host {
+			r.plannerTag, r.plannerErr = checkHostPlanners(ci, rep)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var reports []*analysis.Report
+	for i, r := range results {
+		rep := r.rep
 		reports = append(reports, rep)
 
 		reg.Inc("speclint.images")
@@ -213,13 +285,13 @@ func lintCorpus(stdout io.Writer, reg *telemetry.Registry, verbose bool) ([]*ana
 			}
 		}
 		if verbose {
-			fmt.Fprintf(stdout, "%-28s %s\n", ci.name, rep.Summary())
+			fmt.Fprintf(stdout, "%-28s %s\n", images[i].name, rep.Summary())
 		}
-
-		if ci.host {
-			if err := checkHostPlanners(ci, rep, reg); err != nil {
-				return nil, err
-			}
+		if r.plannerErr != nil {
+			return nil, r.plannerErr
+		}
+		if r.plannerTag != "" {
+			reg.Inc("speclint.hosts." + r.plannerTag)
 		}
 	}
 	if err := checkV1Flagged(images, reports); err != nil {
@@ -254,8 +326,9 @@ func checkV1Flagged(images []corpusImage, reports []*analysis.Report) error {
 // image, the static ROP planner subsumes the dynamic gadget catalog —
 // wherever the catalog builds the exec chain, the planner builds the
 // identical word sequence. (The planner may succeed where the catalog
-// cannot: it classifies gadget shapes the catalog does not.)
-func checkHostPlanners(ci corpusImage, rep *analysis.Report, reg *telemetry.Registry) error {
+// cannot: it classifies gadget shapes the catalog does not.) Returns
+// the registry counter tag for the outcome.
+func checkHostPlanners(ci corpusImage, rep *analysis.Report) (string, error) {
 	dynChain, dynErr := rop.BuildExecChain(gadget.ScanAndCatalog(ci.img, hostGadgetLen), rop.NameAddr())
 
 	vals := []uint64{rop.NameAddr(), vm.SysExec}
@@ -267,26 +340,23 @@ func checkHostPlanners(ci corpusImage, rep *analysis.Report, reg *telemetry.Regi
 
 	if dynErr != nil {
 		if statErr == nil {
-			reg.Inc("speclint.hosts.exec_static_only")
-		} else {
-			reg.Inc("speclint.hosts.exec_unplannable")
+			return "exec_static_only", nil
 		}
-		return nil
+		return "exec_unplannable", nil
 	}
 	if statErr != nil {
-		return fmt.Errorf("speclint: %s: dynamic catalog plans the exec chain but the static planner failed: %v", ci.name, statErr)
+		return "", fmt.Errorf("speclint: %s: dynamic catalog plans the exec chain but the static planner failed: %v", ci.name, statErr)
 	}
 	dw, sw := dynChain.Words(), statPlan.Words()
 	if len(dw) != len(sw) {
-		return fmt.Errorf("speclint: %s: exec chains differ: dynamic %d words, static %d", ci.name, len(dw), len(sw))
+		return "", fmt.Errorf("speclint: %s: exec chains differ: dynamic %d words, static %d", ci.name, len(dw), len(sw))
 	}
 	for i := range dw {
 		if dw[i] != sw[i] {
-			return fmt.Errorf("speclint: %s: exec chain word %d: dynamic %#x, static %#x", ci.name, i, dw[i], sw[i])
+			return "", fmt.Errorf("speclint: %s: exec chain word %d: dynamic %#x, static %#x", ci.name, i, dw[i], sw[i])
 		}
 	}
-	reg.Inc("speclint.hosts.exec_plannable")
-	return nil
+	return "exec_plannable", nil
 }
 
 // soakAgreement is the difftest-style static/dynamic cross-check: n
@@ -309,4 +379,245 @@ func soakAgreement(ctx context.Context, stdout io.Writer, reg *telemetry.Registr
 		}
 	}
 	return disagreements, nil
+}
+
+// scanAttackVariants marks the spectre variants whose planted gadget
+// the static pass can flag — the attack side of the ranking gate. RSB
+// and the store-overflow/store-bypass variants plant their gadget in
+// prediction structures the register-taint lattice does not model (the
+// return stack, store-buffer address disambiguation with constant
+// slots), so their images ride along as benign corpus material; the v4
+// family's planted gadgets enter the gate through the generated progen
+// ssb programs, whose slot address is attacker-derived.
+var scanAttackVariants = map[spectre.Variant]bool{
+	spectre.V1BoundsCheck: true,
+	spectre.VBTB:          true,
+	spectre.V2CrossTrain:  true,
+}
+
+// scanCorpus assembles the scan verb's image set: every spectre variant
+// (the full implemented set, not just the paper's averaged four) and
+// every MiBench host under the uninit-secret policy (attack variants
+// keep their labeled attacker registers), plus progenN generated gadget
+// programs with confirmation specs — the planted, labeled half of the
+// ranking gate.
+func scanCorpus(seed int64, progenN int, maxInstr uint64) ([]analysis.ScanImage, error) {
+	var out []analysis.ScanImage
+	for _, v := range spectre.AllVariants() {
+		mod, err := spectre.Config{Variant: v, TargetAddr: 0x123456}.Module()
+		if err != nil {
+			return nil, fmt.Errorf("spectre %s: %w", v, err)
+		}
+		img, err := mod.Link(0x200000)
+		if err != nil {
+			return nil, fmt.Errorf("spectre %s: %w", v, err)
+		}
+		out = append(out, analysis.ScanImage{
+			Name:   "spectre/" + v.String(),
+			Img:    img,
+			Cfg:    analysis.Config{TaintedRegs: spectre.StaticTaintRegs(), MaxGadgetLen: hostGadgetLen, UninitSecret: true},
+			Attack: scanAttackVariants[v],
+		})
+	}
+	for _, w := range append(mibench.Suite(), mibench.Extended()...) {
+		mod, err := w.HostModule(rop.HostOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("host %s: %w", w.Name, err)
+		}
+		img, err := mod.Link(0x100000)
+		if err != nil {
+			return nil, fmt.Errorf("host %s: %w", w.Name, err)
+		}
+		out = append(out, analysis.ScanImage{
+			Name: "host/" + w.Name,
+			Img:  img,
+			Cfg:  analysis.Config{MaxGadgetLen: hostGadgetLen, UninitSecret: true},
+		})
+	}
+	kinds := progen.GadgetKinds()
+	for i := 0; i < progenN; i++ {
+		kind := kinds[i%len(kinds)]
+		s := sched.DeriveSeed(seed, uint64(i/len(kinds)))
+		p, meta := progen.GenerateGadget(s, kind)
+		out = append(out, analysis.ScanImage{
+			Name: fmt.Sprintf("progen/%s/%d", kind, s),
+			Img:  &isa.Image{Base: p.CodeBase, Entry: p.CodeBase, Code: p.Code},
+			Cfg:  analysis.Config{TaintedRegs: []uint8{meta.TaintReg}},
+			// Only the genuinely leaking kinds are planted gadgets; the
+			// mitigated variants land on the benign side of the gate.
+			Attack: kind.ExpectLeak(),
+			Confirm: &analysis.ConfirmSpec{
+				Prog: p, Meta: meta, CPU: cpu.DefaultConfig(), MaxInstr: maxInstr,
+			},
+		})
+	}
+	return out, nil
+}
+
+func runScan(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("speclint scan", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		seed     = fs.Int64("seed", 1, "base seed for the generated gadget images")
+		progenN  = fs.Int("progen", 0, "include this many generated gadget programs (with SpecFuzz confirmation)")
+		workers  = fs.Int("workers", 0, "scan worker goroutines (0 = all cores)")
+		maxInstr = fs.Uint64("maxinstr", 200_000, "per-program retired-instruction budget for confirmation runs")
+		outFile  = fs.String("out", "", "write the v2 findings report to this file (default: stdout)")
+		gate     = fs.Bool("gate", false, "fail unless every attack image outranks every benign finding")
+		metrics  = fs.Bool("metrics", false, "dump the telemetry registry after the run")
+		obsAddr  = fs.String("obs", "", "serve live observability on this address while scanning")
+		verbose  = fs.Bool("v", false, "per-image summary lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	reg := telemetry.NewRegistry()
+	ctx := telemetry.WithRegistry(context.Background(), reg)
+	ctx, obsDone, err := obsServe(ctx, reg, *obsAddr, "corpus-scan")
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+
+	images, err := scanCorpus(*seed, *progenN, *maxInstr)
+	if err != nil {
+		return err
+	}
+	rep, err := analysis.ScanCorpus(ctx, analysis.PolicyUninitSecret, images, *workers)
+	if err != nil {
+		return err
+	}
+	for _, im := range rep.Images {
+		reg.Inc("speclint.scan.images")
+		reg.Add("speclint.scan.findings", uint64(im.Findings))
+		if *verbose {
+			fmt.Fprintf(stdout, "%-28s %d instrs, %d blocks, %d roots, %d findings\n",
+				im.Name, im.NumInstrs, im.NumBlocks, im.Roots, im.Findings)
+		}
+	}
+	confirmed := 0
+	for _, f := range rep.Findings {
+		if f.Verdict == analysis.VerdictConfirmed {
+			confirmed++
+		}
+	}
+
+	blob, err := analysis.EncodeFindings(rep)
+	if err != nil {
+		return err
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, blob, 0o644); err != nil {
+			return err
+		}
+	} else {
+		if _, err := stdout.Write(blob); err != nil {
+			return err
+		}
+	}
+	if *metrics {
+		if err := reg.Write(stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "speclint scan: %d images, %d findings (%d confirmed) in %.2fs\n",
+		len(rep.Images), len(rep.Findings), confirmed, time.Since(start).Seconds())
+	if *gate {
+		if err := rep.GateRanking(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "speclint scan: ranking gate ok — every attack image outranks all benign findings")
+	}
+	return nil
+}
+
+func readFindings(path string) (*analysis.FindingsReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.DecodeFindings(data)
+}
+
+func runRank(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("speclint rank", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		in  = fs.String("in", "", "findings report to rank (required)")
+		top = fs.Int("top", 10, "number of findings to print")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("speclint rank: -in is required: %w", flag.ErrHelp)
+	}
+	rep, err := readFindings(*in)
+	if err != nil {
+		return err
+	}
+	n := *top
+	if n > len(rep.Findings) {
+		n = len(rep.Findings)
+	}
+	for i := 0; i < n; i++ {
+		f := rep.Findings[i]
+		kind := f.Kind
+		if kind == "" {
+			kind = "v1-bounds"
+		}
+		extra := ""
+		if f.AttackerIndex {
+			extra = " attacker-index"
+		}
+		if f.Repro != nil {
+			extra += fmt.Sprintf(" repro(input=%#x secret=%#x)", f.Repro.Input, f.Repro.Secret)
+		}
+		fmt.Fprintf(stdout, "%3d. score %4d  %-28s %-16s %-9s access=%#x depth=%d span=%d%s\n",
+			i+1, f.Score, f.Image, kind, f.Verdict, f.AccessPC, f.Depth, f.Span, extra)
+	}
+	fmt.Fprintf(stdout, "speclint rank: %d of %d findings shown\n", n, len(rep.Findings))
+	return nil
+}
+
+func runReport(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("speclint report", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		in   = fs.String("in", "", "findings report to validate (required)")
+		gate = fs.Bool("gate", false, "also enforce the attack-over-benign ranking gate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("speclint report: -in is required: %w", flag.ErrHelp)
+	}
+	rep, err := readFindings(*in)
+	if err != nil {
+		return err
+	}
+	counts := map[analysis.Verdict]int{}
+	attackImages := 0
+	for _, f := range rep.Findings {
+		counts[f.Verdict]++
+	}
+	for _, im := range rep.Images {
+		if im.Attack {
+			attackImages++
+		}
+	}
+	fmt.Fprintf(stdout, "speclint report: schema %s, policy %s: %d images (%d attack), %d findings: %d confirmed, %d leak, %d mitigated, %d no-transmit\n",
+		rep.Schema, rep.Policy, len(rep.Images), attackImages, len(rep.Findings),
+		counts[analysis.VerdictConfirmed], counts[analysis.VerdictLeak],
+		counts[analysis.VerdictMitigated], counts[analysis.VerdictNoTransmit])
+	if *gate {
+		if err := rep.GateRanking(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "speclint report: ranking gate ok")
+	}
+	return nil
 }

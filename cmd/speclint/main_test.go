@@ -95,4 +95,120 @@ func TestUsageError(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Fatal("bad flag accepted")
 	}
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+}
+
+// TestJSONDeterministic: the -json artifact and the scan report must be
+// byte-identical at any worker count — the satellite invariant CI's
+// determinism job diffs.
+func TestJSONDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	var base []byte
+	for _, w := range []string{"1", "4", "8"} {
+		path := filepath.Join(dir, "lint-"+w+".json")
+		var out strings.Builder
+		if err := run([]string{"-workers", w, "-json", path}, &out); err != nil {
+			t.Fatalf("workers=%s: %v\n%s", w, err, out.String())
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = blob
+		} else if string(blob) != string(base) {
+			t.Errorf("lint -json differs between -workers 1 and %s", w)
+		}
+	}
+	var scanBase []byte
+	for _, w := range []string{"1", "4", "8"} {
+		path := filepath.Join(dir, "scan-"+w+".json")
+		var out strings.Builder
+		if err := run([]string{"scan", "-progen", "12", "-workers", w, "-out", path}, &out); err != nil {
+			t.Fatalf("scan workers=%s: %v\n%s", w, err, out.String())
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scanBase == nil {
+			scanBase = blob
+		} else if string(blob) != string(scanBase) {
+			t.Errorf("scan report differs between -workers 1 and %s", w)
+		}
+	}
+}
+
+// TestScanVerbGate: the scan verb sweeps the full corpus plus generated
+// gadgets, the report round-trips through the strict decoder, and the
+// planted-over-benign ranking gate holds.
+func TestScanVerbGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.json")
+	var out strings.Builder
+	if err := run([]string{"scan", "-progen", "24", "-gate", "-out", path}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ranking gate ok") {
+		t.Errorf("scan output lacks the gate line:\n%s", out.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analysis.DecodeFindings(blob)
+	if err != nil {
+		t.Fatalf("scan report rejected by the strict decoder: %v", err)
+	}
+	confirmed := 0
+	for _, f := range rep.Findings {
+		if f.Verdict == analysis.VerdictConfirmed {
+			if f.Repro == nil {
+				t.Errorf("confirmed finding without repro: %+v", f)
+			}
+			confirmed++
+		}
+	}
+	if confirmed == 0 {
+		t.Error("scan confirmed no generated gadget")
+	}
+	reenc, err := analysis.EncodeFindings(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reenc) != string(blob) {
+		t.Error("decoded report does not re-encode to the same bytes")
+	}
+}
+
+// TestRankAndReportVerbs: rank prints the top findings of a written
+// report, report validates and summarizes it, and both reject a missing
+// -in.
+func TestRankAndReportVerbs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.json")
+	var out strings.Builder
+	if err := run([]string{"scan", "-progen", "12", "-out", path}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"rank", "-in", path, "-top", "5"}, &out); err != nil {
+		t.Fatalf("rank: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "score") || !strings.Contains(out.String(), "5 of") {
+		t.Errorf("rank output unexpected:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"report", "-in", path, "-gate"}, &out); err != nil {
+		t.Fatalf("report: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "schema speclint/findings/v2") {
+		t.Errorf("report output unexpected:\n%s", out.String())
+	}
+	if err := run([]string{"rank"}, &out); err == nil {
+		t.Error("rank without -in accepted")
+	}
+	if err := run([]string{"report"}, &out); err == nil {
+		t.Error("report without -in accepted")
+	}
 }

@@ -244,6 +244,38 @@ func RecoverCFG(code []byte, base uint64, roots ...uint64) *CFG {
 	return g
 }
 
+// BlockDepths returns the breadth-first depth, in blocks, of every
+// block start from the nearest root, or -1 for blocks no root reaches
+// over direct edges. The exploitability ranking uses it as its
+// reachability axis: a gadget two calls from an entry point is easier
+// to steer execution into than one buried behind indirect flow.
+func (g *CFG) BlockDepths() map[uint64]int {
+	depth := make(map[uint64]int, len(g.Blocks))
+	for _, start := range g.Order {
+		depth[start] = -1
+	}
+	var frontier []uint64
+	for _, r := range g.Roots {
+		if b, ok := g.BlockAt(r); ok && depth[b.Start] == -1 {
+			depth[b.Start] = 0
+			frontier = append(frontier, b.Start)
+		}
+	}
+	for d := 1; len(frontier) > 0; d++ {
+		var next []uint64
+		for _, pc := range frontier {
+			for _, s := range g.Blocks[pc].Succs {
+				if depth[s] == -1 {
+					depth[s] = d
+					next = append(next, s)
+				}
+			}
+		}
+		frontier = next
+	}
+	return depth
+}
+
 // succPCs returns the instruction-level successors of the instruction
 // at pc: the next instruction inside the block, or the block's Succs at
 // its terminal. Used by witness-path search.

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/progen"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// SpecFuzz-style dynamic confirmation. The static pass assumes the
+// worst-case predictor; this harness makes that assumption true on the
+// real core without training it: cpu.Config.ForceWrongPath executes the
+// wrong side of every conditional branch whose flags are still in
+// flight, so both directions of every unresolved branch run
+// speculatively in a single pass. The telemetry ring — with every kind
+// but covert_probe excluded — then acts as the transmission oracle: a
+// flagged leak is *confirmed* when the forced run emits a covert-probe
+// event on the cache line selected by the planted secret, and only on
+// that line, for both planted secrets. A static "leak" the forced core
+// cannot reproduce stays a plain leak; the confirm upgrade never
+// invents findings, it only strengthens verdicts with a witness.
+
+// ConfirmWitness is the concrete reproduction attached to a confirmed
+// finding: the attacker input that steered the index, the planted
+// secret, and the covert-probe event that betrayed it.
+type ConfirmWitness struct {
+	// Input is the attacker-controlled register value at entry.
+	Input uint64 `json:"input"`
+	// Secret is the planted secret byte the probe line encodes.
+	Secret byte `json:"secret"`
+	// ProbeAddr is the probe-array line the transient load touched
+	// (ProbeBase + Secret*ProbeStride).
+	ProbeAddr uint64 `json:"probe_addr"`
+	// TransmitPC is the PC of the transmitting load.
+	TransmitPC uint64 `json:"transmit_pc"`
+	// Cycle is the core cycle of the probe event.
+	Cycle uint64 `json:"cycle"`
+}
+
+// probeOnlyRecorder builds a recorder that stores covert-probe events
+// and merely counts everything else, so a long forced run cannot wrap
+// the oracle out of the ring.
+func probeOnlyRecorder() *telemetry.Recorder {
+	rec := telemetry.NewRecorder(0)
+	var others []telemetry.Kind
+	for k := telemetry.Kind(0); k < telemetry.NumKinds; k++ {
+		if k != telemetry.KindCovertProbe {
+			others = append(others, k)
+		}
+	}
+	rec.Exclude(others...)
+	return rec
+}
+
+// ConfirmGadget runs the speculation-exposing confirmation on one
+// generated gadget program. It returns a non-nil witness iff, for each
+// of the two planted secrets, the forced run emitted a covert-probe
+// event on that secret's probe line and never on the other's — the
+// same two-secret disambiguation the ground-truth oracle uses, but
+// observed through the telemetry ring, which survives squashes (the
+// transient fill is the leak) and carries the transmitting PC.
+func ConfirmGadget(p progen.Program, meta progen.GadgetMeta, cfg cpu.Config, maxInstr uint64) (*ConfirmWitness, error) {
+	cfg.ForceWrongPath = true
+	var witness *ConfirmWitness
+	for i, secret := range gadgetSecrets {
+		other := gadgetSecrets[1-i]
+		w, err := confirmRun(p, meta, cfg, maxInstr, secret, other)
+		if err != nil {
+			return nil, err
+		}
+		if w == nil {
+			return nil, nil
+		}
+		if witness == nil {
+			witness = w
+		}
+	}
+	return witness, nil
+}
+
+func confirmRun(p progen.Program, meta progen.GadgetMeta, cfg cpu.Config, maxInstr uint64, secret, other byte) (*ConfirmWitness, error) {
+	m, err := p.NewMem()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadRaw(meta.SecretAddr, []byte{secret}); err != nil {
+		return nil, err
+	}
+	c := cpu.New(m, cfg)
+	rec := probeOnlyRecorder()
+	c.AttachTelemetry(rec)
+	c.SetProbeWindow(meta.ProbeBase, meta.ProbeBase+256*meta.ProbeStride)
+	c.PC = p.CodeBase
+	c.Regs[isa.RegSP] = p.StackTop
+	c.Regs[meta.TaintReg] = meta.TaintVal
+	if err := c.Run(maxInstr); err != nil {
+		return nil, fmt.Errorf("analysis: confirm run faulted: %w", err)
+	}
+	if !c.Halted() {
+		return nil, fmt.Errorf("analysis: confirm run exceeded %d instructions", maxInstr)
+	}
+	selfLine := meta.ProbeBase + uint64(secret)*meta.ProbeStride
+	otherLine := meta.ProbeBase + uint64(other)*meta.ProbeStride
+	var witness *ConfirmWitness
+	for _, ev := range rec.Events() {
+		if ev.Kind != telemetry.KindCovertProbe {
+			continue
+		}
+		if ev.Addr == otherLine {
+			return nil, nil // the wrong line warmed: not secret-selected
+		}
+		if ev.Addr == selfLine && witness == nil {
+			witness = &ConfirmWitness{
+				Input:      meta.TaintVal,
+				Secret:     secret,
+				ProbeAddr:  ev.Addr,
+				TransmitPC: ev.PC,
+				Cycle:      ev.Cycle,
+			}
+		}
+	}
+	return witness, nil
+}
+
+// ConfirmFindings applies a successful confirmation to a report's
+// findings: every static leak is upgraded to VerdictConfirmed with the
+// witness attached (scores are recomputed by the caller's ranking).
+// With a nil witness it is a no-op — unconfirmed leaks keep their
+// static verdict.
+func ConfirmFindings(fs []RankedFinding, w *ConfirmWitness) {
+	if w == nil {
+		return
+	}
+	for i := range fs {
+		if fs[i].Verdict != VerdictLeak {
+			continue
+		}
+		fs[i].Verdict = VerdictConfirmed
+		fs[i].Repro = w
+		fs[i].Score = ScoreFinding(fs[i].Finding, fs[i].Span, fs[i].Depth)
+	}
+}
+
+// Confirmation is one static-versus-forced-dynamic comparison outcome:
+// the three-way agreement check with the SpecFuzz harness standing in
+// for the trained-predictor ground truth.
+type Confirmation struct {
+	Seed       int64
+	Kind       progen.GadgetKind
+	Expect     bool // ground-truth label
+	StaticLeak bool
+	Confirmed  bool
+	Witness    *ConfirmWitness
+}
+
+// Agrees reports whether the forced run confirmed exactly the labeled
+// and statically-flagged leaks: every real gadget must reproduce, and
+// no mitigated or transmit-free program may warm a secret line.
+func (c Confirmation) Agrees() bool {
+	return c.StaticLeak == c.Expect && c.Confirmed == c.Expect
+}
+
+func (c Confirmation) String() string {
+	return fmt.Sprintf("seed=%d kind=%s expect=%v static=%v confirmed=%v",
+		c.Seed, c.Kind, c.Expect, c.StaticLeak, c.Confirmed)
+}
+
+// CheckConfirm generates the gadget program for (seed, kind), runs the
+// static analyzer and the forced-speculation confirmation, and returns
+// the comparison.
+func CheckConfirm(seed int64, kind progen.GadgetKind, cfg cpu.Config, maxInstr uint64) (Confirmation, error) {
+	p, meta := progen.GenerateGadget(seed, kind)
+	rep := AnalyzeGadget(p, meta)
+	w, err := ConfirmGadget(p, meta, cfg, maxInstr)
+	if err != nil {
+		return Confirmation{}, fmt.Errorf("seed %d kind %s: %w", seed, kind, err)
+	}
+	return Confirmation{
+		Seed:       seed,
+		Kind:       kind,
+		Expect:     kind.ExpectLeak(),
+		StaticLeak: len(rep.Leaks()) > 0,
+		Confirmed:  w != nil,
+		Witness:    w,
+	}, nil
+}
+
+// SoakConfirm fans n confirmation checks out over the sched pool,
+// cycling gadget kinds and deriving seeds exactly like SoakAgreement —
+// the zero-disagreement contract extended to the forced-speculation
+// harness.
+func SoakConfirm(ctx context.Context, seed int64, n, workers int, cfg cpu.Config, maxInstr uint64) ([]Confirmation, error) {
+	kinds := progen.GadgetKinds()
+	return sched.Map(ctx, workers, n, func(_ context.Context, i int) (Confirmation, error) {
+		s := sched.DeriveSeed(seed, uint64(i/len(kinds)))
+		return CheckConfirm(s, kinds[i%len(kinds)], cfg, maxInstr)
+	})
+}

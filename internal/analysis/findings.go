@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FindingsSchema identifies the versioned whole-corpus findings report.
+// v1 was the bare []Report array speclint -json emits; v2 adds the scan
+// policy, per-image summaries, and ranked, deduplicated findings.
+const FindingsSchema = "speclint/findings/v2"
+
+// Scan policies recorded in the report header. The policy names the
+// taint-source convention the scan ran under, not per-image detail —
+// attack images additionally carry their labeled attacker registers,
+// which the Attack flag marks.
+const (
+	// PolicyUninitSecret: uninitialized guest memory is secret
+	// (Pitchfork); attack images also label attacker-input registers.
+	PolicyUninitSecret = "uninit-secret"
+	// PolicyLabeled: only explicitly labeled registers are attacker
+	// sources — the original curated-corpus lint convention.
+	PolicyLabeled = "labeled"
+)
+
+// ImageSummary is the per-image roll-up in a findings report.
+type ImageSummary struct {
+	Name      string `json:"name"`
+	Base      uint64 `json:"base"`
+	NumInstrs int    `json:"num_instrs"`
+	NumBlocks int    `json:"num_blocks"`
+	Roots     int    `json:"roots"`
+	// Attack marks images scanned with labeled attacker registers —
+	// the planted-gadget side of the CI ranking gate; everything else
+	// is benign corpus material.
+	Attack   bool `json:"attack,omitempty"`
+	Findings int  `json:"findings"`
+}
+
+// FindingsReport is the v2 whole-corpus scan artifact: schema tag, scan
+// policy, per-image summaries (sorted by name), and the deduplicated
+// findings in canonical rank order. Encoding is deterministic — the CI
+// determinism check diffs the bytes across worker counts.
+type FindingsReport struct {
+	Schema   string          `json:"schema"`
+	Policy   string          `json:"policy"`
+	Images   []ImageSummary  `json:"images"`
+	Findings []RankedFinding `json:"findings"`
+}
+
+// EncodeFindings renders the canonical byte form of a report: indented
+// JSON with a trailing newline. Callers must have Sort()ed (Validate
+// enforces it); encoding itself never reorders.
+func EncodeFindings(r *FindingsReport) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeFindings parses and validates a v2 findings report. Decoding is
+// strict — unknown fields, trailing documents, and any Validate
+// violation (wrong schema, unsorted or duplicated findings, tampered
+// scores) are errors, so a decoded report is always in canonical form
+// and re-encodes to the same bytes.
+func DecodeFindings(data []byte) (*FindingsReport, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r FindingsReport
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("analysis: decode findings: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("analysis: trailing data after findings report")
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Sort puts the report in canonical form: images by name, findings by
+// rank order (score desc, then identity ascending).
+func (r *FindingsReport) Sort() {
+	sort.SliceStable(r.Images, func(i, j int) bool { return r.Images[i].Name < r.Images[j].Name })
+	SortRanked(r.Findings)
+}
+
+// validVerdicts and validKinds pin the closed enums Validate accepts.
+var validVerdicts = map[Verdict]bool{
+	VerdictLeak:       true,
+	VerdictMitigated:  true,
+	VerdictNoTransmit: true,
+	VerdictConfirmed:  true,
+}
+
+var validKinds = map[string]bool{
+	"":            true,
+	FindingKindV2: true,
+	FindingKindV4: true,
+}
+
+// maxWitnessLen bounds a single finding's witness path: two BFS legs of
+// at most SpecWindow+2 instructions each, with generous slack.
+const maxWitnessLen = 1 << 10
+
+// Validate checks the structural invariants of a findings report:
+// schema tag, known policy, images sorted by unique name, findings in
+// canonical rank order with unique (image, access, kind) identity,
+// every image reference resolvable, enum fields in range, Span
+// consistent with the witness, Score equal to the recomputed
+// ScoreFinding, and Repro present exactly on confirmed findings.
+func (r *FindingsReport) Validate() error {
+	if r.Schema != FindingsSchema {
+		return fmt.Errorf("analysis: findings schema %q, want %q", r.Schema, FindingsSchema)
+	}
+	if r.Policy != PolicyUninitSecret && r.Policy != PolicyLabeled {
+		return fmt.Errorf("analysis: unknown scan policy %q", r.Policy)
+	}
+	names := map[string]bool{}
+	for i, im := range r.Images {
+		if im.Name == "" {
+			return fmt.Errorf("analysis: image %d has empty name", i)
+		}
+		if names[im.Name] {
+			return fmt.Errorf("analysis: duplicate image %q", im.Name)
+		}
+		names[im.Name] = true
+		if i > 0 && !(r.Images[i-1].Name < im.Name) {
+			return fmt.Errorf("analysis: images not sorted at %q", im.Name)
+		}
+		if im.NumInstrs < 0 || im.NumBlocks < 0 || im.Roots < 0 || im.Findings < 0 {
+			return fmt.Errorf("analysis: image %q has negative counts", im.Name)
+		}
+	}
+	type ident struct {
+		image  string
+		access uint64
+		kind   string
+	}
+	seen := map[ident]bool{}
+	perImage := map[string]int{}
+	for i, f := range r.Findings {
+		if !names[f.Image] {
+			return fmt.Errorf("analysis: finding %d references unknown image %q", i, f.Image)
+		}
+		if !validVerdicts[f.Verdict] {
+			return fmt.Errorf("analysis: finding %d has unknown verdict %q", i, f.Verdict)
+		}
+		if !validKinds[f.Kind] {
+			return fmt.Errorf("analysis: finding %d has unknown kind %q", i, f.Kind)
+		}
+		if len(f.Witness) > maxWitnessLen {
+			return fmt.Errorf("analysis: finding %d witness exceeds %d entries", i, maxWitnessLen)
+		}
+		if f.Span != witnessSpan(f.Finding) {
+			return fmt.Errorf("analysis: finding %d span %d inconsistent with witness length %d", i, f.Span, len(f.Witness))
+		}
+		if f.Depth < -1 {
+			return fmt.Errorf("analysis: finding %d depth %d out of range", i, f.Depth)
+		}
+		if got, want := f.Score, ScoreFinding(f.Finding, f.Span, f.Depth); got != want {
+			return fmt.Errorf("analysis: finding %d score %d, recomputed %d", i, got, want)
+		}
+		if (f.Repro != nil) != (f.Verdict == VerdictConfirmed) {
+			return fmt.Errorf("analysis: finding %d repro/verdict mismatch", i)
+		}
+		id := ident{f.Image, f.AccessPC, f.Kind}
+		if seen[id] {
+			return fmt.Errorf("analysis: duplicate finding identity (%s, %#x, %q)", id.image, id.access, id.kind)
+		}
+		seen[id] = true
+		if i > 0 && rankLess(f, r.Findings[i-1]) {
+			return fmt.Errorf("analysis: findings not in canonical rank order at %d", i)
+		}
+		perImage[f.Image]++
+	}
+	for _, im := range r.Images {
+		if perImage[im.Name] != im.Findings {
+			return fmt.Errorf("analysis: image %q summary claims %d findings, report has %d",
+				im.Name, im.Findings, perImage[im.Name])
+		}
+	}
+	return nil
+}
+
+// GateRanking enforces the CI scan gate: every attack image must
+// contribute at least one finding, and its top-ranked finding must
+// outscore every finding from every benign image — the planted v1, v2
+// and v4 gadgets rank above all uninit-secret sweep noise. Returns nil
+// when the gate holds.
+func (r *FindingsReport) GateRanking() error {
+	attack := map[string]bool{}
+	for _, im := range r.Images {
+		attack[im.Name] = im.Attack
+	}
+	top := map[string]int{}
+	benignMax, benignAt := -1, ""
+	for _, f := range r.Findings {
+		if attack[f.Image] {
+			if cur, ok := top[f.Image]; !ok || f.Score > cur {
+				top[f.Image] = f.Score
+			}
+		} else if f.Score > benignMax {
+			benignMax, benignAt = f.Score, f.Image
+		}
+	}
+	for _, im := range r.Images {
+		if !im.Attack {
+			continue
+		}
+		best, ok := top[im.Name]
+		if !ok {
+			return fmt.Errorf("analysis: gate: attack image %q produced no findings", im.Name)
+		}
+		if best <= benignMax {
+			return fmt.Errorf("analysis: gate: attack image %q tops out at %d, benign %q reaches %d",
+				im.Name, best, benignAt, benignMax)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFindingsDecode pins the v2 findings artifact's safety contract:
+// DecodeFindings must never panic on arbitrary bytes, and any document
+// it accepts must be Validate-clean and byte-stable through an
+// encode/decode round trip — CI consumes these reports across jobs, so
+// "decodes ⇒ canonical" is the whole trust boundary of the artifact.
+func FuzzFindingsDecode(f *testing.F) {
+	// A minimal valid report and targeted mutations of each invariant.
+	valid := `{
+  "schema": "speclint/findings/v2",
+  "policy": "uninit-secret",
+  "images": [
+    {"name": "gadget/leak", "base": 65536, "num_instrs": 40, "num_blocks": 9, "roots": 1, "attack": true, "findings": 1},
+    {"name": "host/x", "base": 1048576, "num_instrs": 100, "num_blocks": 20, "roots": 3, "findings": 0}
+  ],
+  "findings": [
+    {"image": "gadget/leak", "guard_pc": 16, "access_pc": 32, "transmit_pc": 48, "verdict": "leak", "witness": [16, 32, 48], "attacker_index": true, "score": 792, "span": 2, "depth": 2}
+  ]
+}`
+	f.Add([]byte(valid))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"schema":"speclint/findings/v2","policy":"labeled","images":null,"findings":null}`))
+	f.Add([]byte(`{"schema":"speclint/findings/v1","policy":"labeled","images":null,"findings":null}`))
+	f.Add([]byte(strings.Replace(valid, `"score": 792`, `"score": 9999`, 1)))
+	f.Add([]byte(strings.Replace(valid, `"verdict": "leak"`, `"verdict": "confirmed"`, 1)))
+	f.Add([]byte(strings.Replace(valid, `"image": "gadget/leak"`, `"image": "nope"`, 1)))
+	f.Add([]byte(strings.Replace(valid, `"span": 2`, `"span": 7`, 1)))
+	f.Add([]byte(strings.Replace(valid, `"depth": 2`, `"depth": -9`, 1)))
+	f.Add([]byte(strings.Replace(valid, `"policy": "uninit-secret"`, `"policy": "wat"`, 1)))
+	f.Add([]byte(valid + `{}`))
+	f.Add([]byte(strings.Repeat(`{"schema":`, 1000)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeFindings(data)
+		if err != nil {
+			if !strings.Contains(err.Error(), "analysis:") && !strings.Contains(err.Error(), "json") {
+				t.Errorf("error without attribution: %v", err)
+			}
+			return
+		}
+		// Accepted ⇒ independently valid...
+		if verr := rep.Validate(); verr != nil {
+			t.Errorf("decoded report fails Validate: %v (input %q)", verr, data)
+		}
+		// ...and round-trip-stable: canonical bytes decode back to the
+		// same document and re-encode to the same bytes.
+		enc, err := EncodeFindings(rep)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		rep2, err := DecodeFindings(enc)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v (wire %s)", err, enc)
+		}
+		enc2, err := EncodeFindings(rep2)
+		if err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if string(enc) != string(enc2) {
+			t.Errorf("round trip not byte-stable:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

@@ -55,6 +55,15 @@ type Config struct {
 	SpecWindow int
 	// MaxGadgetLen bounds ROP gadget summaries (default 4).
 	MaxGadgetLen int
+	// UninitSecret is the Pitchfork scan policy: every load executed
+	// inside a speculation window yields a transient secret even when
+	// its address carries no taint, because uninitialized (unlabeled)
+	// guest memory is assumed secret. It turns whole benign images into
+	// sweepable candidate sets — a window-guarded load whose value feeds
+	// a second load is a leak candidate regardless of whether the image
+	// has any labeled attacker input. Off, the lattice behaves exactly
+	// as the labeled-corpus agreement contract pins it.
+	UninitSecret bool
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +89,13 @@ const (
 	// VerdictNoTransmit: the transient secret is never used as an
 	// address, so nothing reaches the cache side channel.
 	VerdictNoTransmit Verdict = "no-transmit"
+	// VerdictConfirmed: a static leak upgraded by the SpecFuzz-style
+	// dynamic confirmation pass — the simulator, forced down both sides
+	// of every in-flight branch, actually emitted a covert-probe event
+	// on the secret-selected cache line, and a concrete witness input
+	// is attached. Only the confirm harness produces this verdict; the
+	// static pass alone never does.
+	VerdictConfirmed Verdict = "confirmed"
 )
 
 // Finding kinds: which speculation primitive the flagged site abuses.
@@ -110,6 +126,12 @@ type Finding struct {
 	TransmitPC uint64   `json:"transmit_pc,omitempty"`
 	Verdict    Verdict  `json:"verdict"`
 	Witness    []uint64 `json:"witness,omitempty"`
+	// AttackerIndex marks the flagged access's address as attacker-
+	// derived (A-taint) rather than merely secret under the
+	// uninitialized-memory scan policy — the axis Teapot-style ranking
+	// weighs hardest: an index the attacker steers reads *chosen*
+	// memory, an uninit-secret candidate only reads *some* memory.
+	AttackerIndex bool `json:"attacker_index,omitempty"`
 }
 
 // regState is the abstract state at one program point. All fields are
@@ -225,16 +247,20 @@ type taintPass struct {
 	g   *CFG
 	cfg Config
 	in  map[uint64]regState // block start -> joined entry state
-	// accesses: (guard PC, access PC) pairs observed in-window.
-	accesses map[sitePair]bool
+	// accesses: (guard PC, access PC) pairs observed in-window, mapped
+	// to the union of address-taint bits seen across paths — taintA set
+	// means at least one path reaches the load with an attacker-steered
+	// index (the Finding.AttackerIndex ranking axis).
+	accesses map[sitePair]uint8
 	// ssbAccesses: (store PC, access PC) pairs observed inside a
 	// store-bypass window — the v4 counterpart of accesses.
-	ssbAccesses map[sitePair]bool
+	ssbAccesses map[sitePair]uint8
 	// transmits: (access PC, transmit PC) pairs observed in-window.
 	transmits map[sitePair]bool
 	// indirects: CALLR/JMPR sites whose target may be in flight when
-	// the branch predicts — the Spectre-v2 injection surface.
-	indirects map[uint64]bool
+	// the branch predicts — the Spectre-v2 injection surface — mapped
+	// to the union of the target register's taint bits.
+	indirects map[uint64]uint8
 }
 
 // visitBudget caps total block visits; the lattice guarantees
@@ -246,10 +272,10 @@ func runTaint(g *CFG, cfg Config) *taintPass {
 		g:           g,
 		cfg:         cfg,
 		in:          map[uint64]regState{},
-		accesses:    map[sitePair]bool{},
-		ssbAccesses: map[sitePair]bool{},
+		accesses:    map[sitePair]uint8{},
+		ssbAccesses: map[sitePair]uint8{},
 		transmits:   map[sitePair]bool{},
-		indirects:   map[uint64]bool{},
+		indirects:   map[uint64]uint8{},
 	}
 	entry := regState{live: true}
 	for _, r := range cfg.TaintedRegs {
@@ -275,7 +301,15 @@ func runTaint(g *CFG, cfg Config) *taintPass {
 			continue
 		}
 		outs := p.flowBlock(b)
-		for succ, out := range outs {
+		// Propagate in the block's successor order, not map order: the
+		// access/guard pairs recorded during pre-fixpoint visits depend
+		// on the visit sequence, so the worklist must evolve identically
+		// on every run for reports to be byte-stable.
+		for _, succ := range b.Succs {
+			out, ok := outs[succ]
+			if !ok {
+				continue
+			}
 			s := p.in[succ]
 			if s.join(out) {
 				p.in[succ] = s
@@ -423,19 +457,22 @@ func (p *taintPass) step(s *regState, pc uint64, in isa.Instruction) {
 		if spec && at&taintS != 0 {
 			p.transmits[sitePair{s.site[in.Rs1], pc}] = true
 		}
-		if s.win > 0 && at&taintA != 0 {
-			p.accesses[sitePair{s.guard, pc}] = true
+		if s.win > 0 && (at&taintA != 0 || p.cfg.UninitSecret) {
+			p.accesses[sitePair{s.guard, pc}] |= at
 		}
 		if s.ssbWin > 0 && at&taintA != 0 {
 			// Inside a store-bypass window, an attacker-addressed load
 			// may transiently read the stale byte under the slot.
-			p.ssbAccesses[sitePair{s.ssbStore, pc}] = true
+			p.ssbAccesses[sitePair{s.ssbStore, pc}] |= at
 		}
-		if spec && at != 0 {
+		if spec && (at != 0 || p.cfg.UninitSecret) {
 			// The loaded value is a transient secret; keep provenance
 			// so a chained dereference reports the original access.
+			// Under the uninit-secret policy an untainted in-window
+			// address still yields a secret — unlabeled guest memory is
+			// assumed secret — and this load is its own provenance.
 			s.taint[in.Rd] = taintS
-			if at&taintA != 0 {
+			if at&taintA != 0 || at == 0 {
 				s.site[in.Rd] = pc
 			} else {
 				s.site[in.Rd] = s.site[in.Rs1]
@@ -468,7 +505,7 @@ func (p *taintPass) step(s *regState, pc uint64, in isa.Instruction) {
 		if s.isInflight(in.Rs1) {
 			// The branch may predict before its target resolves — the
 			// BTB picks the transient continuation (Spectre-v2).
-			p.indirects[pc] = true
+			p.indirects[pc] |= s.taint[in.Rs1]
 		}
 
 	case op == isa.CMP:
@@ -505,18 +542,21 @@ func firstSite(a, b uint64) uint64 {
 	}
 }
 
-// findings assembles classified findings from the collected site pairs.
+// findings assembles classified findings from the collected site pairs,
+// in the canonical order (AccessPC, Kind, GuardPC, TransmitPC) shared
+// with the findings report layer so scans are worker-invariant.
 func (p *taintPass) findings() []Finding {
 	type accessKey struct {
 		guard, access uint64
 		kind          string
+		taint         uint8
 	}
 	var keys []accessKey
-	for k := range p.accesses {
-		keys = append(keys, accessKey{k[0], k[1], ""})
+	for k, at := range p.accesses {
+		keys = append(keys, accessKey{k[0], k[1], "", at})
 	}
-	for k := range p.ssbAccesses {
-		keys = append(keys, accessKey{k[0], k[1], FindingKindV4})
+	for k, at := range p.ssbAccesses {
+		keys = append(keys, accessKey{k[0], k[1], FindingKindV4, at})
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].guard != keys[j].guard {
@@ -530,6 +570,7 @@ func (p *taintPass) findings() []Finding {
 	var out []Finding
 	limit := p.cfg.SpecWindow + 2
 	for _, k := range keys {
+		atk := k.taint&taintA != 0
 		var txs []uint64
 		for t := range p.transmits {
 			if t[0] == k.access {
@@ -539,7 +580,7 @@ func (p *taintPass) findings() []Finding {
 		sort.Slice(txs, func(i, j int) bool { return txs[i] < txs[j] })
 		if len(txs) > 0 {
 			for _, tx := range txs {
-				f := Finding{Kind: k.kind, GuardPC: k.guard, AccessPC: k.access, TransmitPC: tx, Verdict: VerdictLeak}
+				f := Finding{Kind: k.kind, GuardPC: k.guard, AccessPC: k.access, TransmitPC: tx, Verdict: VerdictLeak, AttackerIndex: atk}
 				if w1 := p.g.path(k.guard, k.access, limit); w1 != nil {
 					if w2 := p.g.path(k.access, tx, limit); w2 != nil {
 						f.Witness = append(w1, w2[1:]...)
@@ -553,7 +594,7 @@ func (p *taintPass) findings() []Finding {
 		if p.transmitIgnoringFences(k.access) {
 			v = VerdictMitigated
 		}
-		out = append(out, Finding{Kind: k.kind, GuardPC: k.guard, AccessPC: k.access, Verdict: v})
+		out = append(out, Finding{Kind: k.kind, GuardPC: k.guard, AccessPC: k.access, Verdict: v, AttackerIndex: atk})
 	}
 	// Every in-flight-target indirect branch is a v2 injection surface
 	// in its own right: the leak body lives wherever the attacker
@@ -565,9 +606,31 @@ func (p *taintPass) findings() []Finding {
 	}
 	sort.Slice(ipcs, func(i, j int) bool { return ipcs[i] < ipcs[j] })
 	for _, pc := range ipcs {
-		out = append(out, Finding{Kind: FindingKindV2, GuardPC: pc, AccessPC: pc, Verdict: VerdictLeak})
+		out = append(out, Finding{
+			Kind: FindingKindV2, GuardPC: pc, AccessPC: pc, Verdict: VerdictLeak,
+			AttackerIndex: p.indirects[pc]&taintA != 0,
+		})
 	}
+	SortFindings(out)
 	return out
+}
+
+// SortFindings orders findings canonically by (AccessPC, Kind, GuardPC,
+// TransmitPC) — the contract the v2 findings report relies on for
+// byte-identical output at any worker count.
+func SortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].AccessPC != fs[j].AccessPC {
+			return fs[i].AccessPC < fs[j].AccessPC
+		}
+		if fs[i].Kind != fs[j].Kind {
+			return fs[i].Kind < fs[j].Kind
+		}
+		if fs[i].GuardPC != fs[j].GuardPC {
+			return fs[i].GuardPC < fs[j].GuardPC
+		}
+		return fs[i].TransmitPC < fs[j].TransmitPC
+	})
 }
 
 // transmitIgnoringFences reports whether a load dependent on the value

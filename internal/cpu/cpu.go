@@ -83,6 +83,14 @@ type Config struct {
 	// retired loads never speculatively ignore a pending store whose
 	// data is still in flight, closing the Spectre-v4 window.
 	DisableStoreBypass bool
+	// ForceWrongPath is the SpecFuzz-style speculation-exposure mode:
+	// every conditional branch whose flags are still in flight executes
+	// its wrong path speculatively even when the predictor guessed
+	// right, so both directions of every unresolved branch are covered
+	// without predictor training. Used by the gadget-hunting confirm
+	// harness (internal/analysis); never by the timing experiments — the
+	// forced episodes leave real cache fills behind, which is the point.
+	ForceWrongPath bool
 	// NoPredecode disables the host-side predecode cache (every fetch
 	// pays the permission walk and validating decode) and, because the
 	// block tier builds on the same coherence machinery, the block tier

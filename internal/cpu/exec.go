@@ -470,6 +470,20 @@ func (c *CPU) condBranch(in isa.Instruction) {
 	}
 
 	resolved := c.flagsReady <= c.Cycle
+	if !resolved && pred == actual && c.cfg.ForceWrongPath && !c.cfg.FenceConditional {
+		// Speculation-exposure mode (SpecFuzz): the predictor guessed
+		// right, but the flags are in flight, so a differently-trained
+		// predictor could have sent the front end down the other side.
+		// Force that wrong path now — its cache fills survive the squash
+		// exactly as a mistrained run's would, which is what the confirm
+		// harness observes. The mispredicted case below already runs the
+		// wrong path, so together both directions are always covered.
+		wrongPC := fall
+		if !actual {
+			wrongPC = target
+		}
+		c.speculate(wrongPC, c.flagsReady+c.cfg.MispredictPenalty)
+	}
 	switch {
 	case pred == actual:
 		// Correct prediction: no bubble whether or not resolved.

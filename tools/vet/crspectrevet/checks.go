@@ -205,6 +205,116 @@ func hasGuardedDirective(doc *ast.CommentGroup) bool {
 	return false
 }
 
+// checkKindRegistry keeps the telemetry event taxonomy closed under
+// name resolution: every Kind constant (the Kind* iota block in the
+// telemetry package) must appear as a key of the kindNames table with a
+// non-empty wire name. A kind missing from the table still emits fine,
+// but KindByName, the exporters and the obs event-stream filter all
+// resolve through kindNames, so the event class would silently vanish
+// from every artifact. Runs only on the telemetry package itself; the
+// NumKinds sentinel is exempt by its name.
+func checkKindRegistry(fset *token.FileSet, files []*ast.File, pkgPath string) []diagnostic {
+	if pkgPath != recorderPath {
+		return nil
+	}
+	type kindConst struct {
+		name string
+		pos  token.Pos
+	}
+	var consts []kindConst
+	registered := map[string]bool{} // key present with a non-empty name
+	empty := map[string]token.Pos{} // key present but mapped to ""
+	for _, f := range files {
+		if strings.HasSuffix(fset.File(f.Pos()).Name(), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				// Track the implied type through the iota block: a spec
+				// with an explicit type sets it, bare continuation specs
+				// inherit it, and an untyped spec with its own value
+				// leaves the Kind block.
+				inKindBlock := false
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if vs.Type != nil {
+						id, ok := vs.Type.(*ast.Ident)
+						inKindBlock = ok && id.Name == "Kind"
+					} else if len(vs.Values) > 0 {
+						inKindBlock = false
+					}
+					if !inKindBlock {
+						continue
+					}
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "Kind") {
+							consts = append(consts, kindConst{name.Name, name.Pos()})
+						}
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "kindNames" || i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						for _, elt := range cl.Elts {
+							kv, ok := elt.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							key, ok := kv.Key.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							if lit, ok := kv.Value.(*ast.BasicLit); ok &&
+								lit.Kind == token.STRING && lit.Value != `""` && lit.Value != "``" {
+								registered[key.Name] = true
+							} else {
+								empty[key.Name] = kv.Pos()
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	var diags []diagnostic
+	for _, c := range consts {
+		if registered[c.name] {
+			continue
+		}
+		if pos, ok := empty[c.name]; ok {
+			diags = append(diags, diagnostic{
+				pos: pos,
+				msg: "telemetry Kind " + c.name + " maps to an empty wire name in kindNames; KindByName cannot resolve it",
+			})
+			continue
+		}
+		diags = append(diags, diagnostic{
+			pos: c.pos,
+			msg: "telemetry Kind " + c.name + " is not registered in kindNames; KindByName and the exporters will silently drop it",
+		})
+	}
+	return diags
+}
+
 // checkDeterminism bans host entropy from guest-facing packages: no
 // math/rand import at all, and no wall-clock reads (time.Now/Since/
 // Until) even if the time package is otherwise imported for durations.

@@ -65,7 +65,8 @@ func check(t *testing.T, pkgPath, filename, src string) []diagnostic {
 	cfg := types.Config{Importer: imp, Error: func(error) {}}
 	cfg.Check(pkgPath, fset, []*ast.File{f}, info)
 	diags := checkEmitGuards(fset, []*ast.File{f}, info, pkgPath)
-	return append(diags, checkDeterminism(fset, []*ast.File{f}, pkgPath)...)
+	diags = append(diags, checkDeterminism(fset, []*ast.File{f}, pkgPath)...)
+	return append(diags, checkKindRegistry(fset, []*ast.File{f}, pkgPath)...)
 }
 
 func wantDiags(t *testing.T, diags []diagnostic, substrs ...string) {
@@ -226,6 +227,83 @@ func TestDeterminismDurationsAllowed(t *testing.T) {
 import "time"
 const tick = 3 * time.Millisecond
 func f(d time.Duration) bool { return d > tick }
+`))
+}
+
+// kindPrologue mirrors the real telemetry package's taxonomy shape: an
+// iota block of Kind constants closed by the NumKinds sentinel, plus
+// the kindNames registration table.
+const kindPrologue = `package telemetry
+type Kind uint8
+const (
+	KindAlpha Kind = iota
+	KindBeta
+	KindGamma
+	NumKinds
+)
+`
+
+func TestKindRegistryClean(t *testing.T) {
+	wantDiags(t, check(t, recorderPath, "telemetry.go", kindPrologue+`
+var kindNames = [NumKinds]string{
+	KindAlpha: "alpha",
+	KindBeta:  "beta",
+	KindGamma: "gamma",
+}
+`))
+}
+
+func TestKindRegistryMissingFlagged(t *testing.T) {
+	wantDiags(t, check(t, recorderPath, "telemetry.go", kindPrologue+`
+var kindNames = [NumKinds]string{
+	KindAlpha: "alpha",
+	KindGamma: "gamma",
+}
+`), "KindBeta is not registered in kindNames")
+}
+
+func TestKindRegistryEmptyNameFlagged(t *testing.T) {
+	wantDiags(t, check(t, recorderPath, "telemetry.go", kindPrologue+`
+var kindNames = [NumKinds]string{
+	KindAlpha: "alpha",
+	KindBeta:  "",
+	KindGamma: "gamma",
+}
+`), "KindBeta maps to an empty wire name")
+}
+
+func TestKindRegistryMissingTableFlagsAll(t *testing.T) {
+	// No kindNames table at all: every Kind constant is unresolvable.
+	wantDiags(t, check(t, recorderPath, "telemetry.go", kindPrologue),
+		"KindAlpha is not registered in kindNames",
+		"KindBeta is not registered in kindNames",
+		"KindGamma is not registered in kindNames")
+}
+
+func TestKindRegistryOtherConstsIgnored(t *testing.T) {
+	// Non-Kind consts — even Kind-prefixed ones of another type — and
+	// untyped members of the same block are out of scope.
+	wantDiags(t, check(t, recorderPath, "telemetry.go", kindPrologue+`
+const (
+	KindRegistryVersion int = iota + 10
+	DefaultCapacity
+)
+var kindNames = [NumKinds]string{
+	KindAlpha: "alpha",
+	KindBeta:  "beta",
+	KindGamma: "gamma",
+}
+`))
+}
+
+func TestKindRegistryOtherPackagesSkipped(t *testing.T) {
+	// The taxonomy convention is local to the telemetry package.
+	wantDiags(t, check(t, "repro/internal/p", "p.go", `package p
+type Kind uint8
+const (
+	KindOther Kind = iota
+	NumKinds
+)
 `))
 }
 

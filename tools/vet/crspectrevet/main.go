@@ -146,6 +146,7 @@ func unit(cfgPath string) int {
 
 	diags := checkEmitGuards(fset, files, info, cfg.ImportPath)
 	diags = append(diags, checkDeterminism(fset, files, cfg.ImportPath)...)
+	diags = append(diags, checkKindRegistry(fset, files, cfg.ImportPath)...)
 	if len(diags) == 0 {
 		return 0
 	}
